@@ -1,0 +1,82 @@
+// Shared helpers for the table-reproduction benches.
+#pragma once
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "api/analysis.hpp"
+#include "model/stats.hpp"
+#include "util/stopwatch.hpp"
+
+namespace kp::bench {
+
+/// min/avg/max accumulator for the size columns of Table 1.
+struct MinAvgMax {
+  double min = 1e300;
+  double max = -1e300;
+  double sum = 0;
+  i64 count = 0;
+
+  void add(double v) {
+    min = std::min(min, v);
+    max = std::max(max, v);
+    sum += v;
+    ++count;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    if (count == 0) return "-";
+    auto fmt = [](double v) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.0f", v);
+      return std::string(buf);
+    };
+    return fmt(min) + "/" + fmt(sum / static_cast<double>(count)) + "/" + fmt(max);
+  }
+};
+
+/// One method's aggregate over a category: average time over solved
+/// instances, plus the solved count.
+struct MethodAggregate {
+  double total_ms = 0;
+  int solved = 0;
+  int attempted = 0;
+
+  void add(const Analysis& a) {
+    ++attempted;
+    if (a.outcome == Outcome::Value || a.outcome == Outcome::Deadlock ||
+        a.outcome == Outcome::Unbounded) {
+      ++solved;
+      total_ms += a.elapsed_ms;
+    }
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    if (solved == 0) return "no result";
+    std::string out = format_duration_ms(total_ms / solved);
+    if (solved != attempted) {
+      out += " (" + std::to_string(solved) + "/" + std::to_string(attempted) + ")";
+    }
+    return out;
+  }
+};
+
+/// Renders "100%" / "98.2%" given an achieved and an optimal throughput;
+/// "??" when the optimum is unknown.
+inline std::string optimality_pct(const Analysis& method, const Analysis& exact) {
+  if (method.outcome == Outcome::NoSolution) return "N/S";
+  if (method.outcome != Outcome::Value) return "-";
+  if (exact.outcome != Outcome::Value || exact.quality != Quality::Exact) return "??%";
+  const double pct = 100.0 * (method.throughput / exact.throughput).to_double();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.4g%%", pct);
+  return buf;
+}
+
+inline std::string time_or_dash(const Analysis& a) {
+  return format_duration_ms(a.elapsed_ms);
+}
+
+}  // namespace kp::bench

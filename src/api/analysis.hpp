@@ -1,0 +1,64 @@
+// One-call throughput analysis façade.
+//
+// Dispatches to the four engines the paper compares (Table 1 / Table 2):
+//   KIter             — the paper's contribution (exact, fast);
+//   Periodic          — the 1-periodic approximation [4] (K = 1);
+//   SymbolicExecution — exact state-space baseline [16]/[8];
+//   Expansion         — HSDF-expansion baseline [10]/[6] (SDF only).
+//
+// All methods run on the same semantics: by default tasks are serialized
+// (one phase at a time) by adding the implicit self-buffers before
+// analysis, matching SDF3 practice; turn serialize_tasks off to analyze
+// with unlimited auto-concurrency.
+#pragma once
+
+#include <string>
+
+#include "core/kiter.hpp"
+#include "expansion/hsdf.hpp"
+#include "model/csdf.hpp"
+#include "sim/selftimed.hpp"
+
+namespace kp {
+
+enum class Method { KIter, Periodic, SymbolicExecution, Expansion };
+
+[[nodiscard]] std::string method_name(Method m);
+
+/// How trustworthy the reported value is.
+enum class Quality {
+  Exact,            ///< the maximum throughput, proven
+  AchievableBound,  ///< a feasible schedule's throughput (lower bound)
+  None,             ///< no value (deadlock / no solution / budget)
+};
+
+enum class Outcome {
+  Value,       ///< `period`/`throughput` are set (see quality)
+  NoSolution,  ///< the method's schedule class is empty (the paper's "N/S")
+  Deadlock,    ///< throughput 0, proven
+  Unbounded,   ///< no circuit bounds the rate
+  Budget,      ///< resource budget exhausted without an answer
+};
+
+struct AnalysisOptions {
+  bool serialize_tasks = true;
+  KIterOptions kiter{};
+  SimOptions sim{};
+  i64 expansion_max_nodes = 2000000;
+  i64 expansion_max_arcs = 20000000;
+};
+
+struct Analysis {
+  Method method = Method::KIter;
+  Outcome outcome = Outcome::Budget;
+  Quality quality = Quality::None;
+  Rational period;      // Ω_G, valid when outcome == Value
+  Rational throughput;  // 1/Ω_G
+  double elapsed_ms = 0.0;
+  std::string detail;  // human-readable extras (final K, state counts, ...)
+};
+
+[[nodiscard]] Analysis analyze_throughput(const CsdfGraph& g, Method method,
+                                          const AnalysisOptions& options = {});
+
+}  // namespace kp

@@ -1,0 +1,145 @@
+#include "core/constraints.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace kp {
+
+std::vector<TaskId> ConstraintGraph::tasks_on_circuit(
+    const std::vector<std::int32_t>& arc_ids) const {
+  std::vector<TaskId> out;
+  auto add = [&](TaskId t) {
+    if (std::find(out.begin(), out.end(), t) == out.end()) out.push_back(t);
+  };
+  for (const std::int32_t a : arc_ids) {
+    const auto& arc = graph.graph().arc(a);
+    add(node_task[static_cast<std::size_t>(arc.src)]);
+    add(node_task[static_cast<std::size_t>(arc.dst)]);
+  }
+  return out;
+}
+
+std::string ConstraintGraph::describe_circuit(const CsdfGraph& g,
+                                              const std::vector<std::int32_t>& arc_ids) const {
+  std::string out;
+  for (const std::int32_t a : arc_ids) {
+    const auto& arc = graph.graph().arc(a);
+    const auto src = static_cast<std::size_t>(arc.src);
+    if (!out.empty()) out += " -> ";
+    out += g.task(node_task[src]).name + "_" + std::to_string(node_phase[src]) + "^" +
+           std::to_string(node_iter[src]);
+  }
+  if (!arc_ids.empty()) {
+    const auto& first = graph.graph().arc(arc_ids.front());
+    const auto src = static_cast<std::size_t>(first.src);
+    out += " -> " + g.task(node_task[src]).name + "_" + std::to_string(node_phase[src]) + "^" +
+           std::to_string(node_iter[src]);
+  }
+  return out;
+}
+
+i128 constraint_pair_count(const CsdfGraph& g, const std::vector<i64>& k) {
+  i128 pairs = 0;
+  for (const Buffer& b : g.buffers()) {
+    const i128 rows = checked_mul(i128{k[static_cast<std::size_t>(b.src)]},
+                                  i128{g.phases(b.src)});
+    const i128 cols = checked_mul(i128{k[static_cast<std::size_t>(b.dst)]},
+                                  i128{g.phases(b.dst)});
+    pairs = checked_add(pairs, checked_mul(rows, cols));
+  }
+  return pairs;
+}
+
+ConstraintGraph build_constraint_graph(const CsdfGraph& g, const RepetitionVector& rv,
+                                       const std::vector<i64>& k) {
+  if (!rv.consistent) throw ModelError("constraint graph requires a consistent CSDFG");
+  if (static_cast<std::int32_t>(k.size()) != g.task_count()) {
+    throw ModelError("periodicity vector must have one entry per task");
+  }
+  for (const i64 kt : k) {
+    if (kt < 1) throw ModelError("periodicity factors must be >= 1");
+  }
+
+  ConstraintGraph cg;
+  cg.k = k;
+
+  // Allocate one node per duplicated phase <t_p̃, 1>, p̃ in 1..K_t·φ(t).
+  i128 total_nodes = 0;
+  cg.task_first_node.resize(static_cast<std::size_t>(g.task_count()));
+  for (TaskId t = 0; t < g.task_count(); ++t) {
+    cg.task_first_node[static_cast<std::size_t>(t)] = static_cast<std::int32_t>(total_nodes);
+    total_nodes = checked_add(
+        total_nodes, checked_mul(i128{k[static_cast<std::size_t>(t)]}, i128{g.phases(t)}));
+    if (total_nodes > (i128{1} << 30)) {
+      throw SolverError("constraint graph too large (node count)");
+    }
+  }
+  const auto n = static_cast<std::int32_t>(total_nodes);
+  cg.node_task.resize(static_cast<std::size_t>(n));
+  cg.node_phase.resize(static_cast<std::size_t>(n));
+  cg.node_iter.resize(static_cast<std::size_t>(n));
+  cg.graph = BivaluedGraph(n);
+  for (TaskId t = 0; t < g.task_count(); ++t) {
+    const std::int32_t phi = g.phases(t);
+    std::int32_t node = cg.task_first_node[static_cast<std::size_t>(t)];
+    for (std::int32_t iter = 1; iter <= k[static_cast<std::size_t>(t)]; ++iter) {
+      for (std::int32_t p = 1; p <= phi; ++p, ++node) {
+        cg.node_task[static_cast<std::size_t>(node)] = t;
+        cg.node_phase[static_cast<std::size_t>(node)] = p;
+        cg.node_iter[static_cast<std::size_t>(node)] = iter;
+      }
+    }
+  }
+
+  // One candidate constraint per (p̃, p̃') pair of each buffer.
+  for (BufferId bid = 0; bid < g.buffer_count(); ++bid) {
+    const Buffer& b = g.buffer(bid);
+    const TaskId t = b.src;
+    const TaskId t2 = b.dst;
+    const i64 kt = k[static_cast<std::size_t>(t)];
+    const i64 kt2 = k[static_cast<std::size_t>(t2)];
+    const std::int32_t phi = g.phases(t);
+    const std::int32_t phi2 = g.phases(t2);
+    const i128 i_dup = checked_mul(i128{kt}, i128{b.total_prod});    // ĩ_b
+    const i128 o_dup = checked_mul(i128{kt2}, i128{b.total_cons});   // õ_b
+    const i128 gcd_dup = gcd128(i_dup, o_dup);
+    // Denominator of H with the global lcm(K) factor folded out: q_t · i_b.
+    const i128 h_den = checked_mul(i128{rv.of(t)}, i128{b.total_prod});
+
+    const i64 rows = checked_mul(kt, i64{phi});
+    const i64 cols = checked_mul(kt2, i64{phi2});
+    for (i64 pt = 1; pt <= rows; ++pt) {
+      const auto p = static_cast<std::int32_t>((pt - 1) % phi) + 1;
+      const i128 cum_in = checked_add(
+          checked_mul(i128{(pt - 1) / phi}, i128{b.total_prod}),
+          i128{b.cum_prod[static_cast<std::size_t>(p)]});
+      const i64 in_p = b.prod[static_cast<std::size_t>(p - 1)];
+      const i64 dur = g.duration(t, p);
+      const std::int32_t src_node =
+          cg.task_first_node[static_cast<std::size_t>(t)] + static_cast<std::int32_t>(pt - 1);
+
+      for (i64 pt2 = 1; pt2 <= cols; ++pt2) {
+        const auto p2 = static_cast<std::int32_t>((pt2 - 1) % phi2) + 1;
+        const i128 cum_out = checked_add(
+            checked_mul(i128{(pt2 - 1) / phi2}, i128{b.total_cons}),
+            i128{b.cum_cons[static_cast<std::size_t>(p2)]});
+        const i64 out_p2 = b.cons[static_cast<std::size_t>(p2 - 1)];
+
+        // Q̃(p̃,p̃') = Õa<t'_p̃',1> - Ĩa<t_p̃,1> - M0(b) + ĩn_b(p̃)
+        const i128 q_val = cum_out - cum_in - i128{b.initial_tokens} + i128{in_p};
+        const i128 alpha =
+            ceil_to_multiple(q_val - i128{std::min(in_p, out_p2)}, gcd_dup);
+        const i128 beta = floor_to_multiple(q_val - 1, gcd_dup);
+        if (alpha > beta) continue;  // no useful constraint for this pair
+
+        const std::int32_t dst_node =
+            cg.task_first_node[static_cast<std::size_t>(t2)] + static_cast<std::int32_t>(pt2 - 1);
+        cg.graph.add_arc(src_node, dst_node, dur, Rational(-beta, h_den));
+      }
+    }
+  }
+  return cg;
+}
+
+}  // namespace kp

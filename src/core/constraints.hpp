@@ -1,0 +1,71 @@
+// Constraint-graph generation: Theorem 2 extended to K-periodic schedules
+// (§3.1–§3.3 of the paper).
+//
+// For a consistent CSDFG G and a periodicity vector K, the minimum period of
+// a K-periodic schedule is the optimum of a linear program with one variable
+// per duplicated phase (K_t copies of each of t's phases) and one constraint
+// per "useful" pair (p̃, p̃') of every buffer. The program is encoded as a
+// bi-valued graph:
+//
+//   node  <t_p̃, 1>     for t ∈ T, p̃ ∈ 1..K_t·φ(t)
+//   arc   <t_p̃> -> <t'_p̃'>  when α̃(p̃,p̃') <= β̃(p̃,p̃') with
+//         L(e) = d(t_p̃)                  (duration of the producing phase)
+//         H(e) = -β̃(p̃,p̃') / (q_t · i_b)
+//
+// The paper's H has denominator ĩ_b·q̃_t = q_t·i_b·lcm(K); we fold the
+// common lcm(K) factor out of every arc (Theorem 3 divides it right back
+// in), so the max cycle ratio of this graph *is* the graph period Ω_G — no
+// post-scaling, and the numbers stay small.
+//
+// G̃ is never materialized: duplicated cumulative rates are evaluated
+// arithmetically from the original vectors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mcrp/bivalued.hpp"
+#include "model/csdf.hpp"
+#include "model/repetition.hpp"
+
+namespace kp {
+
+/// The constraint graph plus the node <-> (task, iteration, phase) maps
+/// needed to read schedules and critical circuits back.
+struct ConstraintGraph {
+  BivaluedGraph graph;
+  std::vector<i64> k;  // the periodicity vector this graph encodes
+
+  // Node maps (one entry per node of `graph`):
+  std::vector<TaskId> node_task;
+  std::vector<std::int32_t> node_phase;  // original phase index, 1..φ(t)
+  std::vector<std::int32_t> node_iter;   // duplication index, 1..K_t
+  std::vector<std::int32_t> task_first_node;  // node id of <t, iter 1, phase 1>
+
+  /// Node id of <t, iteration `iter` (1-based), phase `phase` (1-based)>.
+  [[nodiscard]] std::int32_t node_of(TaskId t, std::int32_t iter, std::int32_t phase,
+                                     std::int32_t phi_t) const {
+    return task_first_node[static_cast<std::size_t>(t)] + (iter - 1) * phi_t + (phase - 1);
+  }
+
+  /// Distinct tasks visited by a circuit (arc id list), in first-seen order.
+  [[nodiscard]] std::vector<TaskId> tasks_on_circuit(
+      const std::vector<std::int32_t>& arc_ids) const;
+
+  /// Human-readable "<A_2^1> -> <B_1^3>"-style rendering of a circuit.
+  [[nodiscard]] std::string describe_circuit(const CsdfGraph& g,
+                                             const std::vector<std::int32_t>& arc_ids) const;
+};
+
+/// Builds the constraint graph for periodicity vector `k` (one entry per
+/// task, each >= 1). `rv` must be the repetition vector of `g` (consistent).
+[[nodiscard]] ConstraintGraph build_constraint_graph(const CsdfGraph& g,
+                                                     const RepetitionVector& rv,
+                                                     const std::vector<i64>& k);
+
+/// Number of (p̃, p̃') pairs the generator will enumerate for `k` — the
+/// cost estimate used to refuse absurdly large requests up front.
+[[nodiscard]] i128 constraint_pair_count(const CsdfGraph& g, const std::vector<i64>& k);
+
+}  // namespace kp

@@ -1,0 +1,163 @@
+#include "core/kiter.hpp"
+
+#include <algorithm>
+
+#include "core/optimality.hpp"
+#include "util/stopwatch.hpp"
+
+namespace kp {
+
+namespace {
+
+/// Smallest divisor of q that is >= target (target <= q); used by the
+/// Doubling ablation policy. O(sqrt(q)).
+i64 smallest_divisor_at_least(i64 q, i64 target) {
+  if (target >= q) return q;
+  i64 best = q;
+  for (i64 d = 1; d * d <= q; ++d) {
+    if (q % d != 0) continue;
+    if (d >= target) best = std::min(best, d);
+    const i64 other = q / d;
+    if (other >= target) best = std::min(best, other);
+  }
+  return best;
+}
+
+/// Applies the chosen update policy along the circuit. Returns true if K
+/// changed.
+bool update_k(std::vector<i64>& k, const RepetitionVector& rv,
+              const std::vector<TaskId>& circuit_tasks, KUpdatePolicy policy) {
+  i64 g = 0;
+  for (const TaskId t : circuit_tasks) g = gcd64(g, rv.of(t));
+  bool changed = false;
+  for (const TaskId t : circuit_tasks) {
+    const auto idx = static_cast<std::size_t>(t);
+    const i64 qbar = rv.of(t) / g;
+    i64 next = k[idx];
+    switch (policy) {
+      case KUpdatePolicy::PaperLcm:
+        next = lcm64(k[idx], qbar);
+        break;
+      case KUpdatePolicy::JumpToQ:
+        next = rv.of(t);
+        break;
+      case KUpdatePolicy::Doubling: {
+        // Grow at least geometrically while staying a divisor of q_t, and
+        // never below the paper's requirement once it is small enough.
+        const i64 doubled = smallest_divisor_at_least(rv.of(t), checked_mul(k[idx], 2));
+        next = (k[idx] % qbar == 0) ? doubled : std::min(doubled, lcm64(k[idx], qbar));
+        break;
+      }
+    }
+    if (next != k[idx]) {
+      k[idx] = next;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+KIterResult kiter_throughput(const CsdfGraph& g, const RepetitionVector& rv,
+                             const KIterOptions& options) {
+  if (!rv.consistent) throw ModelError("kiter: graph is not consistent: " + rv.failure_reason);
+  KIterResult result;
+  Stopwatch clock;
+
+  std::vector<i64> k(static_cast<std::size_t>(g.task_count()), 1);
+
+  auto out_of_budget = [&]() {
+    return options.time_budget_ms >= 0.0 && clock.elapsed_ms() > options.time_budget_ms;
+  };
+
+  for (int round = 0; round < options.max_rounds; ++round) {
+    // ---- resource guards ---------------------------------------------------
+    const i128 pairs = constraint_pair_count(g, k);
+    if (pairs > options.max_constraint_pairs || out_of_budget()) {
+      result.status = ThroughputStatus::ResourceLimit;
+      result.k = k;
+      result.rounds = round;
+      return result;
+    }
+
+    // ---- evaluate this K ---------------------------------------------------
+    KEvalOptions eval_options;
+    eval_options.mcrp = options.mcrp;
+    const KPeriodicResult eval = evaluate_k_periodic(g, rv, k, eval_options);
+    result.rounds = round + 1;
+
+    if (options.record_trace) {
+      KIterRound r;
+      r.k = k;
+      r.feasible = eval.status != KEvalStatus::InfeasibleK;
+      r.period = eval.period;
+      r.constraint_nodes = eval.constraints.graph.node_count();
+      r.constraint_arcs = eval.constraints.graph.arc_count();
+      r.critical_tasks = eval.critical_tasks;
+      result.trace.push_back(std::move(r));
+    }
+
+    if (eval.status == KEvalStatus::Unbounded) {
+      // Period 0 is feasible for this K, and K-periodic schedules are
+      // realizable schedules, so the graph's throughput is unbounded;
+      // larger K only enlarges the schedule class — conclusive.
+      result.status = ThroughputStatus::Unbounded;
+      result.period = Rational{0};
+      result.throughput = Rational{0};
+      result.k = k;
+      result.critical_tasks = eval.critical_tasks;
+      result.schedule = eval.schedule;
+      return result;
+    }
+
+    // ---- optimality test (Theorem 4, also applied to infeasibility and
+    //      zero-ratio witnesses) --------------------------------------------
+    const OptimalityTest test = theorem4_test(rv, k, eval.critical_tasks);
+    if (options.record_trace) result.trace.back().optimality_passed = test.passed;
+
+    if (test.passed) {
+      result.k = k;
+      result.critical_tasks = eval.critical_tasks;
+      result.critical_description =
+          eval.constraints.describe_circuit(g, eval.critical_cycle);
+      if (eval.status == KEvalStatus::InfeasibleK) {
+        // The circuit's induced subgraph cannot be scheduled even at the K
+        // that is optimal for it: the graph deadlocks.
+        result.status = ThroughputStatus::Deadlock;
+        result.period = Rational{0};
+        result.throughput = Rational{0};
+      } else {
+        result.status = ThroughputStatus::Optimal;
+        result.period = eval.period;
+        result.throughput = eval.period.reciprocal();
+        result.has_feasible_bound = true;
+        result.schedule = eval.schedule;
+      }
+      return result;
+    }
+
+    // Keep the best achievable bound so far for honest ResourceLimit reports.
+    if (eval.status == KEvalStatus::Feasible &&
+        (!result.has_feasible_bound || eval.period < result.period)) {
+      result.has_feasible_bound = true;
+      result.period = eval.period;
+      result.throughput = eval.period.reciprocal();
+      result.schedule = eval.schedule;
+    }
+
+    if (!update_k(k, rv, eval.critical_tasks, options.policy)) {
+      throw SolverError("kiter: failed optimality test but K did not grow (invariant breach)");
+    }
+  }
+
+  result.status = ThroughputStatus::ResourceLimit;
+  result.k = k;
+  return result;
+}
+
+KIterResult kiter_throughput(const CsdfGraph& g, const KIterOptions& options) {
+  return kiter_throughput(g, compute_repetition_vector(g), options);
+}
+
+}  // namespace kp

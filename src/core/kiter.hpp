@@ -1,0 +1,99 @@
+// K-Iter (Algorithm 1): optimal throughput of a CSDFG by iterative
+// enlargement of the periodicity vector.
+//
+// Start from K = 1. Each round evaluates the minimum K-periodic period via
+// the constraint graph + MCRP, then applies Theorem 4 to the critical
+// circuit: if the divisibility condition holds the bound is optimal and the
+// loop stops; otherwise K grows along the circuit (the paper's rule:
+// K_t <- lcm(K_t, q̄_t)) and the loop repeats. An infeasibility witness
+// circuit (no schedule for this K) is treated the same way; if it already
+// satisfies the condition the graph is deadlocked (throughput 0).
+//
+// Every K_t always divides q_t, so the iteration is finite and ends at
+// worst at K = q (the exact-but-exponential configuration the paper's
+// introduction describes).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/kperiodic.hpp"
+#include "model/csdf.hpp"
+#include "model/repetition.hpp"
+
+namespace kp {
+
+enum class ThroughputStatus {
+  Optimal,        ///< throughput is exact and maximal
+  Deadlock,       ///< no positive-rate schedule exists (throughput 0)
+  Unbounded,      ///< no circuit bounds the rate (throughput infinite)
+  ResourceLimit,  ///< budget exhausted; `period` is the best *achievable*
+                  ///< bound found so far when has_feasible_bound is set
+};
+
+/// How K grows when the optimality test fails — the paper's rule plus two
+/// ablation alternatives (bench/bench_ablation_kpolicy compares them).
+enum class KUpdatePolicy {
+  PaperLcm,  ///< K_t <- lcm(K_t, q̄_t) for tasks on the circuit (Algorithm 1)
+  JumpToQ,   ///< K_t <- q_t for tasks on the circuit (one-shot optimal K)
+  Doubling,  ///< K_t <- smallest divisor of q_t >= 2·K_t on the circuit
+};
+
+struct KIterRound {
+  std::vector<i64> k;
+  bool feasible = false;
+  Rational period;  // valid when feasible
+  i64 constraint_nodes = 0;
+  i64 constraint_arcs = 0;
+  std::vector<TaskId> critical_tasks;
+  bool optimality_passed = false;
+};
+
+struct KIterOptions {
+  McrpOptions mcrp{};
+  KUpdatePolicy policy = KUpdatePolicy::PaperLcm;
+
+  /// Refuse to build a constraint graph with more candidate (p̃,p̃') pairs
+  /// than this (the graph2/graph3-style blowups); the run then returns
+  /// ResourceLimit with the best achievable bound so far.
+  i128 max_constraint_pairs = i128{200} * 1000 * 1000;
+
+  /// Wall-clock budget; < 0 disables.
+  double time_budget_ms = -1.0;
+
+  /// Record one KIterRound per iteration in the result.
+  bool record_trace = false;
+
+  int max_rounds = 1 << 20;
+};
+
+struct KIterResult {
+  ThroughputStatus status = ThroughputStatus::Optimal;
+
+  /// Ω*: exact when Optimal; the best achievable (feasible) period found
+  /// when ResourceLimit with has_feasible_bound; 0 when Unbounded.
+  Rational period;
+  /// 1/Ω (0 when Deadlock, 0 marker when Unbounded — check status).
+  Rational throughput;
+  bool has_feasible_bound = false;
+
+  std::vector<i64> k;  // final periodicity vector
+  int rounds = 0;
+  std::vector<KIterRound> trace;
+
+  std::vector<TaskId> critical_tasks;
+  std::string critical_description;
+
+  /// The schedule achieving `period` (valid when Optimal, or when
+  /// ResourceLimit with has_feasible_bound).
+  KPeriodicSchedule schedule;
+};
+
+[[nodiscard]] KIterResult kiter_throughput(const CsdfGraph& g, const RepetitionVector& rv,
+                                           const KIterOptions& options = {});
+
+/// Convenience: computes the repetition vector internally (throws
+/// ModelError if the graph is inconsistent).
+[[nodiscard]] KIterResult kiter_throughput(const CsdfGraph& g, const KIterOptions& options = {});
+
+}  // namespace kp

@@ -1,0 +1,56 @@
+#include "core/kperiodic.hpp"
+
+namespace kp {
+
+KPeriodicResult evaluate_k_periodic(const CsdfGraph& g, const RepetitionVector& rv,
+                                    const std::vector<i64>& k, const KEvalOptions& options) {
+  KPeriodicResult result;
+  result.constraints = build_constraint_graph(g, rv, k);
+
+  McrpOptions mcrp = options.mcrp;
+  mcrp.compute_potentials = options.want_schedule;
+  const McrpResult solved = solve_max_cycle_ratio(result.constraints.graph, mcrp);
+  result.mcrp_iterations = solved.iterations;
+  result.critical_cycle = solved.critical_cycle;
+  result.critical_tasks = result.constraints.tasks_on_circuit(solved.critical_cycle);
+
+  if (solved.status == McrpStatus::Infeasible) {
+    result.status = KEvalStatus::InfeasibleK;
+    return result;
+  }
+
+  result.period = solved.ratio;  // the lcm(K) factor is already folded out
+  result.status = (solved.status == McrpStatus::NoCycle || solved.ratio.is_zero())
+                      ? KEvalStatus::Unbounded
+                      : KEvalStatus::Feasible;
+
+  if (options.want_schedule) {
+    KPeriodicSchedule& s = result.schedule;
+    s.k = k;
+    s.period = result.period;
+    s.starts.resize(static_cast<std::size_t>(g.task_count()));
+    s.task_periods.resize(static_cast<std::size_t>(g.task_count()));
+    for (TaskId t = 0; t < g.task_count(); ++t) {
+      const i64 kt = k[static_cast<std::size_t>(t)];
+      const std::int32_t phi = g.phases(t);
+      // µ_t = Ω · K_t / q_t (from Th_G = K_t / (q_t µ_t) = 1/Ω).
+      s.task_periods[static_cast<std::size_t>(t)] =
+          result.period * Rational(i128{kt}, i128{rv.of(t)});
+      auto& st = s.starts[static_cast<std::size_t>(t)];
+      st.resize(static_cast<std::size_t>(kt * phi));
+      const std::int32_t base = result.constraints.task_first_node[static_cast<std::size_t>(t)];
+      for (std::size_t idx = 0; idx < st.size(); ++idx) {
+        st[idx] = solved.potentials[static_cast<std::size_t>(base) + idx];
+      }
+    }
+  }
+  return result;
+}
+
+KPeriodicResult periodic_schedule(const CsdfGraph& g, const RepetitionVector& rv,
+                                  const KEvalOptions& options) {
+  return evaluate_k_periodic(g, rv, std::vector<i64>(static_cast<std::size_t>(g.task_count()), 1),
+                             options);
+}
+
+}  // namespace kp

@@ -1,0 +1,95 @@
+// Fixed-K evaluation: minimum-period K-periodic schedule of a CSDFG
+// (§2.4, §3.2, §3.3 of the paper).
+//
+// evaluate_k_periodic builds the Theorem-2 constraint graph for the given
+// periodicity vector, solves the Max Cost-to-time Ratio Problem exactly and
+// reads back a complete schedule: the first K_t·φ(t) start times of every
+// task plus its period µ_t. The 1-periodic baseline [4] is the K = 1
+// special case (see periodic_schedule below).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/constraints.hpp"
+#include "mcrp/cycle_ratio.hpp"
+#include "model/csdf.hpp"
+#include "model/repetition.hpp"
+
+namespace kp {
+
+enum class KEvalStatus {
+  Feasible,     ///< a K-periodic schedule exists; `schedule` is the fastest
+  InfeasibleK,  ///< no K-periodic schedule for this K (the paper's "N/S")
+  Unbounded,    ///< period 0 feasible: no circuit constrains the rate
+};
+
+/// A complete K-periodic schedule (Definition §2.4): the first K_t
+/// executions of every phase, explicit; everything else derived by
+/// S<t_p, α·K_t + β> = S<t_p, β> + α·µ_t.
+struct KPeriodicSchedule {
+  std::vector<i64> k;
+  Rational period;  // Ω_G: graph-normalized period; throughput = 1/Ω
+
+  /// starts[t][(iter-1)·φ(t) + (phase-1)] = S<t_phase, iter>, iter in 1..K_t.
+  std::vector<std::vector<Rational>> starts;
+
+  /// µ_t = Ω · K_t / q_t per task.
+  std::vector<Rational> task_periods;
+
+  /// S<t_p, n> for any execution index n >= 1.
+  [[nodiscard]] Rational start_of(TaskId t, std::int32_t phase, i64 n,
+                                  std::int32_t phi_t) const {
+    const i64 kt = k[static_cast<std::size_t>(t)];
+    const i64 beta = (n - 1) % kt + 1;
+    const i64 alpha = (n - 1) / kt;
+    Rational s = starts[static_cast<std::size_t>(t)]
+                       [static_cast<std::size_t>((beta - 1) * phi_t + (phase - 1))];
+    if (alpha != 0) {
+      s += task_periods[static_cast<std::size_t>(t)] * Rational(i128{alpha}, 1);
+    }
+    return s;
+  }
+
+  [[nodiscard]] Rational throughput() const {
+    return period.is_zero() ? Rational{0} : period.reciprocal();
+  }
+};
+
+struct KPeriodicResult {
+  KEvalStatus status = KEvalStatus::Unbounded;
+
+  /// Valid when status == Feasible (and best-effort when Unbounded:
+  /// start times with period 0).
+  KPeriodicSchedule schedule;
+
+  /// Ω for this K (equals schedule.period when Feasible).
+  Rational period;
+
+  /// Distinct tasks on the critical (or infeasibility-witness) circuit.
+  std::vector<TaskId> critical_tasks;
+
+  /// Critical circuit as arc ids of `constraints.graph`.
+  std::vector<std::int32_t> critical_cycle;
+
+  /// The constraint graph (kept for diagnostics and the optimality test).
+  ConstraintGraph constraints;
+
+  int mcrp_iterations = 0;
+};
+
+struct KEvalOptions {
+  McrpOptions mcrp{};
+  /// Whether to extract start times (costs one relaxation pass).
+  bool want_schedule = true;
+};
+
+[[nodiscard]] KPeriodicResult evaluate_k_periodic(const CsdfGraph& g, const RepetitionVector& rv,
+                                                  const std::vector<i64>& k,
+                                                  const KEvalOptions& options = {});
+
+/// The 1-periodic baseline [4]: evaluate_k_periodic with K_t = 1 for all t.
+[[nodiscard]] KPeriodicResult periodic_schedule(const CsdfGraph& g, const RepetitionVector& rv,
+                                                const KEvalOptions& options = {});
+
+}  // namespace kp

@@ -1,0 +1,27 @@
+#include "core/optimality.hpp"
+
+#include "util/error.hpp"
+
+namespace kp {
+
+OptimalityTest theorem4_test(const RepetitionVector& rv, const std::vector<i64>& k,
+                             const std::vector<TaskId>& circuit_tasks) {
+  if (circuit_tasks.empty()) throw ModelError("theorem4_test: empty circuit");
+  OptimalityTest test;
+  test.tasks = circuit_tasks;
+
+  i64 g = 0;
+  for (const TaskId t : circuit_tasks) g = gcd64(g, rv.of(t));
+  test.circuit_gcd = g;
+
+  test.passed = true;
+  test.required_multiple.reserve(circuit_tasks.size());
+  for (const TaskId t : circuit_tasks) {
+    const i64 required = rv.of(t) / g;  // q̄_t
+    test.required_multiple.push_back(required);
+    if (k[static_cast<std::size_t>(t)] % required != 0) test.passed = false;
+  }
+  return test;
+}
+
+}  // namespace kp

@@ -1,0 +1,28 @@
+// Theorem 4: the K-periodic optimality test.
+//
+// Given the critical circuit c of the constraint graph for periodicity
+// vector K, let g = gcd{q_t' : t' on c} and q̄_t = q_t / g. If every task t
+// on c has K_t a multiple of q̄_t, the K-periodic bound is the true maximum
+// throughput of the graph (the subgraph induced by c already achieves it).
+#pragma once
+
+#include <vector>
+
+#include "model/csdf.hpp"
+#include "model/repetition.hpp"
+
+namespace kp {
+
+struct OptimalityTest {
+  bool passed = false;
+  i64 circuit_gcd = 0;  // gcd of q_t over the circuit's tasks
+
+  /// q̄_t per circuit task, aligned with `tasks`.
+  std::vector<TaskId> tasks;
+  std::vector<i64> required_multiple;
+};
+
+[[nodiscard]] OptimalityTest theorem4_test(const RepetitionVector& rv, const std::vector<i64>& k,
+                                           const std::vector<TaskId>& circuit_tasks);
+
+}  // namespace kp

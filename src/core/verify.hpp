@@ -1,0 +1,35 @@
+// Independent verification of a claimed K-periodic schedule.
+//
+// Rather than re-checking the Theorem-2 inequalities (which would share
+// code, and bugs, with the generator), this verifier *simulates the token
+// timeline*: it materializes every production and consumption event of a
+// bounded horizon from the schedule's closed form and checks that no buffer
+// ever goes negative (productions at an instant are visible to consumptions
+// at the same instant, matching the model's consume-at-start /
+// produce-at-end semantics). Used by tests and by the --paranoid mode of
+// the examples.
+#pragma once
+
+#include <string>
+
+#include "core/kperiodic.hpp"
+#include "model/csdf.hpp"
+#include "model/repetition.hpp"
+
+namespace kp {
+
+struct ScheduleCheck {
+  bool ok = false;
+  std::string violation;  // human-readable description when !ok
+};
+
+/// Checks `iterations` graph iterations' worth of consumer executions per
+/// buffer (n' = 1 .. iterations·q_t'), with all producer events that can
+/// land in that window. A zero-period (unbounded-throughput) schedule is
+/// rejected unless every buffer trivially stays non-negative.
+[[nodiscard]] ScheduleCheck verify_schedule_by_simulation(const CsdfGraph& g,
+                                                          const RepetitionVector& rv,
+                                                          const KPeriodicSchedule& schedule,
+                                                          i64 iterations = 3);
+
+}  // namespace kp

@@ -1,0 +1,50 @@
+// Lee–Messerschmitt expansion of a consistent SDFG into an HSDF event graph
+// and throughput evaluation on it — the classical exact baseline family the
+// paper compares against in Table 1 ([10], refined by [12], [6]).
+//
+// Every task t becomes q_t copies <t,1>..<t,q_t> (its firings within one
+// graph iteration). A buffer b = (t -> t') with rates u/v and marking M0
+// induces, for each consumer copy j, one arc from every producer firing
+// that contributes a token to j's consumption window; the arc carries an
+// iteration distance D >= 0 (the event-graph marking). The throughput is
+// then 1 / (max cycle ratio Σduration / ΣD), solved with the exact MCRP
+// engine. A zero-distance circuit (no tokens on a dependency cycle) is a
+// deadlock.
+//
+// The expansion is exponential in the repetition vector — that is the point
+// of the comparison: K-Iter avoids it. A node budget keeps the blowups
+// honest (status ResourceLimit).
+#pragma once
+
+#include "core/kiter.hpp"  // ThroughputStatus
+#include "mcrp/bivalued.hpp"
+#include "model/csdf.hpp"
+#include "model/repetition.hpp"
+
+namespace kp {
+
+struct HsdfExpansion {
+  BivaluedGraph graph;            // L = firing duration, H = iteration distance
+  std::vector<TaskId> node_task;  // original task per HSDF node
+  std::vector<i64> node_index;    // firing index within the iteration, 1..q_t
+};
+
+/// Expands a consistent *SDF* graph (phi(t) == 1 for all t). Throws
+/// ModelError on CSDF input; SolverError when the expansion would exceed
+/// `max_nodes` or `max_arcs`.
+[[nodiscard]] HsdfExpansion expand_to_hsdf(const CsdfGraph& g, const RepetitionVector& rv,
+                                           i64 max_nodes = 2000000, i64 max_arcs = 20000000);
+
+struct ExpansionResult {
+  ThroughputStatus status = ThroughputStatus::ResourceLimit;
+  Rational period;      // Ω_G when Optimal
+  Rational throughput;  // 1/Ω
+  i64 nodes = 0;
+  i64 arcs = 0;
+};
+
+[[nodiscard]] ExpansionResult expansion_throughput(const CsdfGraph& g, const RepetitionVector& rv,
+                                                   i64 max_nodes = 2000000,
+                                                   i64 max_arcs = 20000000);
+
+}  // namespace kp

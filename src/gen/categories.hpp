@@ -1,0 +1,50 @@
+// The four SDF benchmark categories of Table 1.
+//
+// The SDF3 benchmark suite itself is not redistributable here, so each
+// category is reconstructed to match its published size statistics
+// (task count, channel count, Σq min/avg/max — see Table 1) and, more
+// importantly, the structural property that drives the measured orderings:
+//
+//   ActualDSP   — five classic fixed DSP applications (the H.263 decoder's
+//                 famous q = [1,2376,2376,1] among them);
+//   MimicDSP    — random small multirate SDF graphs, Σq up to ~10^4;
+//   LgHSDF      — small SDF graphs whose *expansion* is large (huge
+//                 repetition vectors): hard for expansion-family methods;
+//   LgTransient — large HSDF graphs (q_t = 1) whose self-timed execution
+//                 has a long transient: hard for symbolic execution, while
+//                 K-Iter's optimality test passes immediately (q̄_t = 1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/csdf.hpp"
+#include "util/rng.hpp"
+
+namespace kp {
+
+struct NamedGraph {
+  std::string name;
+  CsdfGraph graph;
+};
+
+/// The five fixed "actual DSP" applications.
+[[nodiscard]] std::vector<NamedGraph> make_actual_dsp();
+
+/// `count` random DSP-like multirate SDF graphs.
+[[nodiscard]] std::vector<NamedGraph> make_mimic_dsp(u64 seed, int count);
+
+/// `count` small SDF graphs with large repetition vectors.
+[[nodiscard]] std::vector<NamedGraph> make_lg_hsdf(u64 seed, int count);
+
+/// `count` large HSDF graphs with long self-timed transients.
+[[nodiscard]] std::vector<NamedGraph> make_lg_transient(u64 seed, int count);
+
+// Individual fixed applications (exposed for tests and examples):
+[[nodiscard]] CsdfGraph h263_decoder();
+[[nodiscard]] CsdfGraph samplerate_converter();
+[[nodiscard]] CsdfGraph modem();
+[[nodiscard]] CsdfGraph satellite_receiver();
+[[nodiscard]] CsdfGraph mp3_playback();
+
+}  // namespace kp

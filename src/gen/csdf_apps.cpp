@@ -1,0 +1,366 @@
+#include "gen/csdf_apps.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "gen/rates.hpp"
+#include "model/transform.hpp"
+#include "util/rng.hpp"
+
+namespace kp {
+
+namespace {
+
+/// Cluster-structured application generator. A cluster is a chain of tasks
+/// sharing one repetition value; cross arcs connect earlier clusters to
+/// later ones (feed-forward); feedback arcs are intra-cluster back arcs
+/// with liveness-preserving markings; pad arcs (intra-cluster forward
+/// skips) are then added until the buffer count hits the published target.
+///
+/// Repetition-vector hygiene: the q values of clusters that share cycles
+/// are chosen with large pairwise gcds (so K-Iter's q̄ stays small, like
+/// the real applications), while the whole graph's gcd is 1 so the drawn
+/// vector *is* the minimal repetition vector. Two-cluster apps achieve the
+/// latter with a q = 1 "cfg" anchor task whose channels model unbounded
+/// control links (they are exempted from buffer capacities).
+struct ClusterSpec {
+  std::string prefix;
+  std::int32_t tasks = 1;
+  i64 q = 1;
+  std::int32_t min_phases = 1;
+  std::int32_t max_phases = 1;
+  i64 min_dur = 1;
+  i64 max_dur = 10;
+};
+
+struct CrossSpec {
+  std::int32_t from_cluster = 0;
+  std::int32_t to_cluster = 1;
+  std::int32_t arcs = 1;
+};
+
+struct AppSpec {
+  std::string name;
+  u64 seed = 1;
+  std::vector<ClusterSpec> clusters;
+  std::vector<CrossSpec> cross;
+  std::int32_t feedback_arcs = 0;     // intra-cluster back arcs, round-robin
+  /// Cross-cluster feedback arcs (with liveness markings): these create
+  /// circuits spanning rate domains, so K-Iter must grow K to the
+  /// clusters' q̄ — the knob that separates "solves in ms" (large pairwise
+  /// gcd) from "exhausts any budget" (coprime q, the paper's graph2/3).
+  std::vector<CrossSpec> cross_feedback;
+  /// Tight two-task rings between cluster heads: the return arc carries
+  /// only i_b + o_b tokens (just above the classical p+c-gcd liveness
+  /// bound), so the ring's cycle ratio dominates every serialization bound
+  /// and K-Iter must grow K to the clusters' q̄. With coprime cluster q
+  /// this is the paper's graph2/graph3 blowup; with gcd-rich q it is the
+  /// "works hard but converges" regime of graph1.
+  std::vector<CrossSpec> tight_rings;
+  std::int32_t target_buffers = -1;   // pad with forward skips up to this
+  i64 max_rate_factor = 2;
+};
+
+CsdfGraph clustered_app(const AppSpec& spec) {
+  CsdfGraph g(spec.name);
+  Rng rng(spec.seed);
+
+  std::vector<std::vector<TaskId>> cluster_tasks;
+  std::vector<i64> q_of_task;
+  for (const ClusterSpec& c : spec.clusters) {
+    std::vector<TaskId> ids;
+    for (std::int32_t i = 0; i < c.tasks; ++i) {
+      const auto phases = static_cast<std::int32_t>(rng.uniform(c.min_phases, c.max_phases));
+      std::vector<i64> durations(static_cast<std::size_t>(phases));
+      for (auto& d : durations) d = rng.uniform(c.min_dur, c.max_dur);
+      ids.push_back(g.add_task(c.prefix + std::to_string(i), std::move(durations)));
+      q_of_task.push_back(c.q);
+    }
+    cluster_tasks.push_back(std::move(ids));
+  }
+
+  auto add_arc = [&](TaskId src, TaskId dst, bool live_cycle_tokens) {
+    const i64 c = rng.uniform(1, spec.max_rate_factor);
+    const auto [ib, ob] = balanced_rates(q_of_task[static_cast<std::size_t>(src)],
+                                         q_of_task[static_cast<std::size_t>(dst)], c);
+    std::vector<i64> prod = split_total(rng, ib, g.phases(src));
+    std::vector<i64> cons = split_total(rng, ob, g.phases(dst));
+    const i64 m0 = live_cycle_tokens
+                       ? live_cycle_marking(ob, q_of_task[static_cast<std::size_t>(dst)])
+                       : 0;
+    g.add_buffer("", src, dst, std::move(prod), std::move(cons), m0);
+  };
+
+  // Chains inside each cluster.
+  for (const auto& ids : cluster_tasks) {
+    for (std::size_t i = 0; i + 1 < ids.size(); ++i) add_arc(ids[i], ids[i + 1], false);
+  }
+  // Cross arcs (feed-forward between clusters).
+  for (const CrossSpec& x : spec.cross) {
+    const auto& from = cluster_tasks[static_cast<std::size_t>(x.from_cluster)];
+    const auto& to = cluster_tasks[static_cast<std::size_t>(x.to_cluster)];
+    for (std::int32_t i = 0; i < x.arcs; ++i) {
+      const TaskId s =
+          from[static_cast<std::size_t>(rng.uniform(0, static_cast<i64>(from.size()) - 1))];
+      const TaskId d =
+          to[static_cast<std::size_t>(rng.uniform(0, static_cast<i64>(to.size()) - 1))];
+      add_arc(s, d, false);
+    }
+  }
+  // Tight rings between cluster heads (liveness: the classical two-task
+  // SDF ring bound m0 >= p + c - gcd(p, c); we use p + c). Chain heads
+  // have no other cyclic inputs, so the ring is the only tight cycle.
+  for (const CrossSpec& x : spec.tight_rings) {
+    const TaskId head_a = cluster_tasks[static_cast<std::size_t>(x.from_cluster)].front();
+    const TaskId head_b = cluster_tasks[static_cast<std::size_t>(x.to_cluster)].front();
+    const auto [ib, ob] = balanced_rates(q_of_task[static_cast<std::size_t>(head_a)],
+                                         q_of_task[static_cast<std::size_t>(head_b)], 1);
+    g.add_buffer("", head_a, head_b, split_total(rng, ib, g.phases(head_a)),
+                 split_total(rng, ob, g.phases(head_b)), 0);
+    g.add_buffer("", head_b, head_a, split_total(rng, ob, g.phases(head_b)),
+                 split_total(rng, ib, g.phases(head_a)), checked_add(ib, ob));
+  }
+  // Cross-cluster feedback (liveness markings keep the graph live).
+  for (const CrossSpec& x : spec.cross_feedback) {
+    const auto& from = cluster_tasks[static_cast<std::size_t>(x.from_cluster)];
+    const auto& to = cluster_tasks[static_cast<std::size_t>(x.to_cluster)];
+    for (std::int32_t i = 0; i < x.arcs; ++i) {
+      const TaskId s =
+          from[static_cast<std::size_t>(rng.uniform(0, static_cast<i64>(from.size()) - 1))];
+      const TaskId d =
+          to[static_cast<std::size_t>(rng.uniform(0, static_cast<i64>(to.size()) - 1))];
+      add_arc(s, d, true);
+    }
+  }
+  // Feedback arcs: intra-cluster back arcs with one-iteration markings.
+  for (std::int32_t i = 0; i < spec.feedback_arcs; ++i) {
+    const auto& ids = cluster_tasks[static_cast<std::size_t>(i) % cluster_tasks.size()];
+    if (ids.size() < 2) continue;
+    const i64 a = rng.uniform(0, static_cast<i64>(ids.size()) - 2);
+    const i64 b = rng.uniform(a + 1, static_cast<i64>(ids.size()) - 1);
+    add_arc(ids[static_cast<std::size_t>(b)], ids[static_cast<std::size_t>(a)], true);
+  }
+  // Pad arcs: forward skips within clusters until the buffer target.
+  if (spec.target_buffers >= 0) {
+    if (g.buffer_count() > spec.target_buffers) {
+      throw ModelError(spec.name + ": structural arcs already exceed the buffer target");
+    }
+    std::size_t cluster = 0;
+    std::int32_t stall = 0;
+    while (g.buffer_count() < spec.target_buffers) {
+      const auto& ids = cluster_tasks[cluster];
+      cluster = (cluster + 1) % cluster_tasks.size();
+      if (ids.size() < 3) {
+        if (++stall > 1000) throw ModelError(spec.name + ": cannot reach buffer target");
+        continue;
+      }
+      stall = 0;
+      const i64 a = rng.uniform(0, static_cast<i64>(ids.size()) - 2);
+      const i64 b = rng.uniform(a + 1, static_cast<i64>(ids.size()) - 1);
+      add_arc(ids[static_cast<std::size_t>(a)], ids[static_cast<std::size_t>(b)], false);
+    }
+  }
+  return g;
+}
+
+/// The q = 1 anchor cluster (see struct comment above).
+ClusterSpec anchor_cluster() { return ClusterSpec{"cfg", 1, 1, 1, 1, 1, 5}; }
+
+bool is_anchor_task(const CsdfGraph& g, TaskId t) {
+  return g.task(t).name.rfind("cfg", 0) == 0;
+}
+
+}  // namespace
+
+CsdfGraph blackscholes() {
+  // 41 tasks in a pricing chain, Σq = 1 + 38·305 + 303 + 1 = 11895 (exact).
+  CsdfGraph g("BlackScholes");
+  Rng rng(41);
+  std::vector<TaskId> t;
+  std::vector<i64> q;
+  t.push_back(g.add_task("load", std::vector<i64>{8}));
+  q.push_back(1);
+  for (int i = 0; i < 38; ++i) {
+    t.push_back(g.add_task("price" + std::to_string(i),
+                           std::vector<i64>{rng.uniform(3, 40), rng.uniform(3, 40)}));
+    q.push_back(305);
+  }
+  t.push_back(g.add_task("reduce", std::vector<i64>{rng.uniform(3, 40)}));
+  q.push_back(303);
+  t.push_back(g.add_task("store", std::vector<i64>{6}));
+  q.push_back(1);
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    const auto [ib, ob] = balanced_rates(q[i], q[i + 1], 1);
+    g.add_buffer("", t[i], t[i + 1], split_total(rng, ib, g.phases(t[i])),
+                 split_total(rng, ob, g.phases(t[i + 1])), 0);
+  }
+  return g;
+}
+
+CsdfGraph echo() {
+  // 240 tasks / 703 buffers; two sampling-rate domains (147:80, the
+  // 44.1/24 kHz family) scaled so Σq ≈ 8.03·10^8 like the published app.
+  AppSpec spec;
+  spec.name = "Echo";
+  spec.seed = 240;
+  const i64 scale = 39246;  // 1 + (20·147 + 219·80)·scale = 802,973,161
+  spec.clusters.push_back(anchor_cluster());
+  spec.clusters.push_back(ClusterSpec{"fast", 20, 147 * scale, 1, 2, 1, 40});
+  spec.clusters.push_back(ClusterSpec{"slow", 219, 80 * scale, 1, 1, 1, 40});
+  spec.cross.push_back(CrossSpec{0, 1, 1});
+  spec.cross.push_back(CrossSpec{1, 2, 60});
+  spec.feedback_arcs = 0;  // feed-forward across rate domains (see header)
+  spec.target_buffers = 703;
+  return clustered_app(spec);
+}
+
+CsdfGraph jpeg2000() {
+  // 38 tasks / 82 buffers; Σq = 1 + 7·2048 + 30·10880 = 340,737.
+  AppSpec spec;
+  spec.name = "JPEG2000";
+  spec.seed = 2000;
+  spec.clusters.push_back(anchor_cluster());
+  spec.clusters.push_back(ClusterSpec{"tile", 7, 2048, 1, 3, 1, 60});
+  spec.clusters.push_back(ClusterSpec{"block", 30, 10880, 1, 2, 1, 30});
+  spec.cross.push_back(CrossSpec{0, 1, 1});
+  spec.cross.push_back(CrossSpec{1, 2, 30});
+  spec.feedback_arcs = 2;  // round-robin: one on cfg (skipped), one on tile
+  spec.target_buffers = 82;
+  return clustered_app(spec);
+}
+
+CsdfGraph pdetect() {
+  // 58 tasks / 76 buffers; Σq = 1 + 9·1248 + 48·80640 = 3,881,953.
+  AppSpec spec;
+  spec.name = "Pdetect";
+  spec.seed = 58;
+  spec.clusters.push_back(anchor_cluster());
+  spec.clusters.push_back(ClusterSpec{"ctrl", 9, 1248, 1, 3, 1, 50});
+  spec.clusters.push_back(ClusterSpec{"scale", 48, 80640, 1, 2, 1, 25});
+  spec.cross.push_back(CrossSpec{0, 1, 1});
+  spec.cross.push_back(CrossSpec{1, 2, 12});
+  spec.feedback_arcs = 2;
+  spec.target_buffers = 76;
+  return clustered_app(spec);
+}
+
+CsdfGraph h264_encoder() {
+  // 665 tasks / 3128 buffers; Σq = 1 + 64·5280 + 600·39600 = 24,097,921.
+  AppSpec spec;
+  spec.name = "H264Encoder";
+  spec.seed = 264;
+  spec.clusters.push_back(anchor_cluster());
+  spec.clusters.push_back(ClusterSpec{"ctrl", 64, 5280, 1, 2, 1, 30});
+  spec.clusters.push_back(ClusterSpec{"mb", 600, 39600, 1, 2, 1, 15});
+  spec.cross.push_back(CrossSpec{0, 1, 1});
+  spec.cross.push_back(CrossSpec{1, 2, 640});
+  spec.feedback_arcs = 3;
+  spec.target_buffers = 3128;
+  return clustered_app(spec);
+}
+
+CsdfGraph synthetic_graph(int index) {
+  AppSpec spec;
+  spec.seed = static_cast<u64>(1000 + index);
+  switch (index) {
+    case 1:
+      // 90 / 617 / ~741,047: the A·B/B·C/C·A pattern (A=32, B=105, C=157)
+      // gives large pairwise gcds with whole-graph gcd 1 — K-Iter works
+      // hard (several rounds) but converges.
+      spec.name = "graph1";
+      spec.clusters.push_back(ClusterSpec{"a", 30, 32 * 105, 1, 3, 1, 20});
+      spec.clusters.push_back(ClusterSpec{"b", 30, 105 * 157, 1, 3, 1, 20});
+      spec.clusters.push_back(ClusterSpec{"c", 30, 157 * 32, 1, 3, 1, 20});
+      spec.cross.push_back(CrossSpec{0, 1, 40});
+      spec.cross.push_back(CrossSpec{1, 2, 40});
+      spec.cross.push_back(CrossSpec{0, 2, 30});
+      spec.tight_rings.push_back(CrossSpec{0, 1, 1});
+      spec.feedback_arcs = 3;
+      spec.target_buffers = 617;
+      break;
+    case 2:
+      // 70 / 473 / ~2.48·10^9: near-coprime huge q -> every exact method
+      // exhausts its budget (the paper's ">1d" row).
+      spec.name = "graph2";
+      spec.clusters.push_back(ClusterSpec{"a", 35, 35426624, 1, 3, 1, 20});
+      spec.clusters.push_back(ClusterSpec{"b", 35, 35427911, 1, 3, 1, 20});
+      spec.cross.push_back(CrossSpec{0, 1, 50});
+      spec.tight_rings.push_back(CrossSpec{0, 1, 1});
+      spec.feedback_arcs = 2;
+      spec.target_buffers = 473;
+      break;
+    case 3:
+      // 154 / 671 / ~3.71·10^9: like graph2, larger.
+      spec.name = "graph3";
+      spec.clusters.push_back(ClusterSpec{"a", 77, 24064000, 1, 3, 1, 20});
+      spec.clusters.push_back(ClusterSpec{"b", 77, 24064013, 1, 3, 1, 20});
+      spec.cross.push_back(CrossSpec{0, 1, 60});
+      spec.tight_rings.push_back(CrossSpec{0, 1, 1});
+      spec.feedback_arcs = 2;
+      spec.target_buffers = 671;
+      break;
+    case 4:
+      // 2426 / 2900 / ~615,614: many tasks, small q -> fast for K-Iter.
+      spec.name = "graph4";
+      spec.clusters.push_back(ClusterSpec{"a", 2000, 256, 1, 2, 1, 15});
+      spec.clusters.push_back(ClusterSpec{"b", 400, 250, 1, 2, 1, 15});
+      spec.clusters.push_back(ClusterSpec{"c", 26, 139, 1, 2, 1, 15});
+      spec.cross.push_back(CrossSpec{0, 1, 30});
+      spec.cross.push_back(CrossSpec{1, 2, 10});
+      spec.tight_rings.push_back(CrossSpec{0, 1, 1});
+      spec.feedback_arcs = 4;
+      spec.target_buffers = 2900;
+      break;
+    case 5:
+      // 2767 / 4894 / ~1,872,172.
+      spec.name = "graph5";
+      spec.clusters.push_back(ClusterSpec{"a", 2700, 693, 1, 2, 1, 15});
+      spec.clusters.push_back(ClusterSpec{"b", 67, 16, 1, 2, 1, 15});
+      spec.cross.push_back(CrossSpec{1, 0, 40});
+      spec.tight_rings.push_back(CrossSpec{0, 1, 1});
+      spec.feedback_arcs = 6;
+      spec.target_buffers = 4894;
+      break;
+    default:
+      throw ModelError("synthetic_graph: index must be 1..5");
+  }
+  return clustered_app(spec);
+}
+
+std::vector<NamedGraph> make_csdf_applications() {
+  std::vector<NamedGraph> out;
+  out.push_back(NamedGraph{"BlackScholes", blackscholes()});
+  out.push_back(NamedGraph{"Echo", echo()});
+  out.push_back(NamedGraph{"JPEG2000", jpeg2000()});
+  out.push_back(NamedGraph{"Pdetect", pdetect()});
+  out.push_back(NamedGraph{"H264Encoder", h264_encoder()});
+  return out;
+}
+
+std::vector<NamedGraph> make_csdf_synthetic() {
+  std::vector<NamedGraph> out;
+  for (int i = 1; i <= 5; ++i) {
+    out.push_back(NamedGraph{"graph" + std::to_string(i), synthetic_graph(i)});
+  }
+  return out;
+}
+
+CsdfGraph with_buffer_capacities(const CsdfGraph& g, i64 factor) {
+  // Channels of the "cfg" anchor task model unbounded control links and
+  // stay uncapacitated (otherwise its q = 1 would put an arbitrarily bad
+  // q̄ on a capacity cycle — the real applications' control links are not
+  // data-rate-bound either).
+  std::vector<i64> caps;
+  caps.reserve(static_cast<std::size_t>(g.buffer_count()));
+  for (const Buffer& b : g.buffers()) {
+    if (is_anchor_task(g, b.src) || is_anchor_task(g, b.dst)) {
+      caps.push_back(-1);
+      continue;
+    }
+    const i64 base = checked_add(b.total_prod, b.total_cons);
+    caps.push_back(checked_add(checked_mul(factor, base), b.initial_tokens));
+  }
+  return apply_buffer_capacities(g, caps);
+}
+
+}  // namespace kp

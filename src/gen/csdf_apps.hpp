@@ -1,0 +1,48 @@
+// The Table-2 CSDF application suite (IB+AG5CSDF reconstructions).
+//
+// The industrial suite of [4] is not public; each application here is a
+// deterministic synthetic reconstruction that matches the published task
+// count, buffer count and the magnitude/structure of Σq (see DESIGN.md's
+// substitution table). The structural property that drives Table 2 is
+// encoded faithfully:
+//
+//   * without buffer-size constraints the graphs are feed-forward across
+//     rate boundaries (cycles only inside equal-rate clusters), so both
+//     symbolic execution (per-SCC) and K-Iter are fast;
+//   * apply_buffer_capacities() adds the reverse arcs of the "fixed buffer
+//     size" rows; the new cross-rate cycles blow up the symbolic state
+//     space while K-Iter's K only grows to the per-cluster rate ratios.
+//
+// q values are chosen with deliberate gcd structure: large common factors
+// inside clusters keep q̄ (and therefore K) small for the solvable
+// applications; graph2/graph3 use near-coprime q on purpose so that every
+// method hits its budget, like the paper's ">1d" rows.
+#pragma once
+
+#include <vector>
+
+#include "gen/categories.hpp"  // NamedGraph
+#include "model/csdf.hpp"
+
+namespace kp {
+
+[[nodiscard]] CsdfGraph blackscholes();
+[[nodiscard]] CsdfGraph echo();
+[[nodiscard]] CsdfGraph jpeg2000();
+[[nodiscard]] CsdfGraph pdetect();
+[[nodiscard]] CsdfGraph h264_encoder();
+
+/// graph1..graph5, the synthetic rows of Table 2.
+[[nodiscard]] CsdfGraph synthetic_graph(int index);
+
+/// The five applications in Table-2 order.
+[[nodiscard]] std::vector<NamedGraph> make_csdf_applications();
+
+/// The five synthetic graphs in Table-2 order.
+[[nodiscard]] std::vector<NamedGraph> make_csdf_synthetic();
+
+/// The "fixed buffer size" variant used by Table 2's lower half: every
+/// non-self-loop buffer gets capacity factor·(i_b + o_b) (+ marking).
+[[nodiscard]] CsdfGraph with_buffer_capacities(const CsdfGraph& g, i64 factor = 3);
+
+}  // namespace kp

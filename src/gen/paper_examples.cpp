@@ -1,0 +1,71 @@
+#include "gen/paper_examples.hpp"
+
+namespace kp {
+
+CsdfGraph figure1_buffer() {
+  CsdfGraph g("figure1");
+  const TaskId t = g.add_task("t", std::vector<i64>{1, 1, 1});
+  const TaskId t2 = g.add_task("t'", std::vector<i64>{1, 1});
+  g.add_buffer("b", t, t2, std::vector<i64>{2, 3, 1}, std::vector<i64>{2, 5}, 0);
+  return g;
+}
+
+CsdfGraph figure2_graph() {
+  CsdfGraph g("figure2");
+  const TaskId a = g.add_task("A", std::vector<i64>{1, 1});
+  const TaskId b = g.add_task("B", std::vector<i64>{1, 1, 1});
+  const TaskId c = g.add_task("C", std::vector<i64>{1});
+  const TaskId d = g.add_task("D", std::vector<i64>{1});
+  g.add_buffer("A->B", a, b, std::vector<i64>{3, 5}, std::vector<i64>{1, 1, 4}, 0);
+  g.add_buffer("B->C", b, c, std::vector<i64>{6, 2, 1}, std::vector<i64>{6}, 0);
+  g.add_buffer("C->A", c, a, std::vector<i64>{2}, std::vector<i64>{1, 3}, 4);
+  g.add_buffer("A->D", a, d, std::vector<i64>{3, 5}, std::vector<i64>{24}, 13);
+  g.add_buffer("D->C", d, c, std::vector<i64>{36}, std::vector<i64>{6}, 6);
+  return g;
+}
+
+CsdfGraph figure2_deadlocked() {
+  CsdfGraph g("figure2-deadlocked");
+  const TaskId a = g.add_task("A", std::vector<i64>{1, 1});
+  const TaskId b = g.add_task("B", std::vector<i64>{1, 1, 1});
+  const TaskId c = g.add_task("C", std::vector<i64>{1});
+  const TaskId d = g.add_task("D", std::vector<i64>{1});
+  g.add_buffer("A->B", a, b, std::vector<i64>{3, 5}, std::vector<i64>{1, 1, 4}, 0);
+  g.add_buffer("B->C", b, c, std::vector<i64>{6, 2, 1}, std::vector<i64>{6}, 0);
+  g.add_buffer("C->A", c, a, std::vector<i64>{2}, std::vector<i64>{1, 3}, 0);  // starved
+  g.add_buffer("A->D", a, d, std::vector<i64>{3, 5}, std::vector<i64>{24}, 13);
+  g.add_buffer("D->C", d, c, std::vector<i64>{36}, std::vector<i64>{6}, 6);
+  return g;
+}
+
+CsdfGraph no_onep_schedule_graph() {
+  CsdfGraph g("no-1-periodic");
+  const TaskId t0 = g.add_task("t0", std::vector<i64>{6});
+  const TaskId t1 = g.add_task("t1", std::vector<i64>{4});
+  const TaskId t2 = g.add_task("t2", std::vector<i64>{4, 9});
+  const TaskId t3 = g.add_task("t3", std::vector<i64>{10});
+  g.add_buffer("", t1, t0, std::vector<i64>{2}, std::vector<i64>{8}, 0);
+  g.add_buffer("", t0, t2, std::vector<i64>{4}, std::vector<i64>{0, 1}, 0);
+  g.add_buffer("", t1, t3, std::vector<i64>{1}, std::vector<i64>{4}, 0);
+  g.add_buffer("", t2, t3, std::vector<i64>{1, 1}, std::vector<i64>{8}, 2);
+  g.add_buffer("", t0, t1, std::vector<i64>{8}, std::vector<i64>{2}, 10);
+  g.add_buffer("", t2, t0, std::vector<i64>{0, 1}, std::vector<i64>{4}, 5);
+  g.add_buffer("", t3, t1, std::vector<i64>{4}, std::vector<i64>{1}, 5);
+  g.add_buffer("", t3, t2, std::vector<i64>{8}, std::vector<i64>{1, 1}, 8);
+  g.add_buffer("", t0, t0, std::vector<i64>{1}, std::vector<i64>{1}, 1);
+  g.add_buffer("", t1, t1, std::vector<i64>{1}, std::vector<i64>{1}, 1);
+  g.add_buffer("", t2, t2, std::vector<i64>{1, 1}, std::vector<i64>{1, 1}, 1);
+  g.add_buffer("", t3, t3, std::vector<i64>{1}, std::vector<i64>{1}, 1);
+  return g;
+}
+
+CsdfGraph tiny_pipeline(i64 p, i64 c, i64 m0, i64 back_tokens) {
+  CsdfGraph g("tiny-pipeline");
+  const TaskId prod = g.add_task("prod", 1);
+  const TaskId cons = g.add_task("cons", 1);
+  g.add_buffer("data", prod, cons, p, c, m0);
+  g.add_buffer("space", cons, prod, c, p, back_tokens);
+  return g;
+}
+
+}  // namespace kp

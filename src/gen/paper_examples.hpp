@@ -1,0 +1,45 @@
+// The paper's running examples (Figures 1 and 2), reconstructed.
+//
+// The published PDF's figures do not survive text extraction intact; these
+// reconstructions use every legible label and are *consistent by
+// construction* (see DESIGN.md "Figure-2 running example" for the
+// provenance discussion). All regression constants in the tests are values
+// this library computes for the reconstruction, each cross-validated by an
+// independent method (symbolic execution vs K-Iter vs 1-periodic bound).
+#pragma once
+
+#include "model/csdf.hpp"
+
+namespace kp {
+
+/// Figure 1: a single buffer b between tasks t and t' with
+/// in_b = [2,3,1], out_b = [2,5], M0 = 0 (i_b = 6, o_b = 7).
+[[nodiscard]] CsdfGraph figure1_buffer();
+
+/// Figure 2: the 4-task running example. Tasks A..D with
+/// d(A)=[1,1], d(B)=[1,1,1], d(C)=[1], d(D)=[1]; buffers
+///   A->B [3,5]/[1,1,4] m0=0,   B->C [6,2,1]/[6] m0=0,
+///   C->A [2]/[1,3]     m0=4,   A->D [3,5]/[24]  m0=13,
+///   D->C [36]/[6]      m0=6.
+/// Repetition vector q = [3,4,6,1].
+[[nodiscard]] CsdfGraph figure2_graph();
+
+/// A deliberately deadlocked variant of figure2_graph() (the C->A marking
+/// removed), used by liveness tests and the deadlock example.
+[[nodiscard]] CsdfGraph figure2_deadlocked();
+
+/// Minimal two-task SDF producer/consumer with a feedback arc — the
+/// smallest graph exercising every analysis, used in quickstarts and docs.
+/// prod -(p:c)-> cons with m0 tokens forward, capacity `back_tokens` on the
+/// feedback arc.
+[[nodiscard]] CsdfGraph tiny_pipeline(i64 p = 2, i64 c = 3, i64 m0 = 0, i64 back_tokens = 6);
+
+/// A live CSDFG with *no* 1-periodic schedule — the phenomenon behind the
+/// paper's "N/S" rows (found by randomized search over tightly buffered
+/// CSDF graphs, then pinned; self-serialization buffers are already
+/// included). Its exact throughput is 1/63, confirmed independently by
+/// K-Iter and by symbolic execution; the 1-periodic method returns "no
+/// solution" on it.
+[[nodiscard]] CsdfGraph no_onep_schedule_graph();
+
+}  // namespace kp

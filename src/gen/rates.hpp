@@ -1,0 +1,55 @@
+// Shared helpers for generators that construct consistent-by-design graphs.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "util/checked.hpp"
+#include "util/rng.hpp"
+
+namespace kp {
+
+/// Rates (i_b, o_b) satisfying q_src·i_b = q_dst·o_b, scaled by c >= 1:
+/// i_b = c·q_dst/g, o_b = c·q_src/g with g = gcd(q_src, q_dst).
+[[nodiscard]] inline std::pair<i64, i64> balanced_rates(i64 q_src, i64 q_dst, i64 c) {
+  const i64 g = gcd64(q_src, q_dst);
+  return {checked_mul(c, q_dst / g), checked_mul(c, q_src / g)};
+}
+
+/// Splits `total` >= 0 into `parts` non-negative summands whose sum is
+/// exactly `total`. Small totals use balls-in-bins; large totals use a
+/// weighted split so the cost is O(parts), not O(total).
+[[nodiscard]] inline std::vector<i64> split_total(Rng& rng, i64 total, std::int32_t parts) {
+  std::vector<i64> out(static_cast<std::size_t>(parts), 0);
+  if (parts == 1) {
+    out[0] = total;
+    return out;
+  }
+  if (total <= 8 * parts) {
+    for (i64 unit = 0; unit < total; ++unit) {
+      out[static_cast<std::size_t>(rng.uniform(0, parts - 1))] += 1;
+    }
+    return out;
+  }
+  std::vector<i64> weight(static_cast<std::size_t>(parts));
+  i64 weight_sum = 0;
+  for (auto& w : weight) {
+    w = rng.uniform(1, 1000);
+    weight_sum += w;
+  }
+  i64 assigned = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = narrow64(checked_mul(i128{total}, i128{weight[i]}) / weight_sum);
+    assigned += out[i];
+  }
+  out[0] += total - assigned;  // exact by construction
+  return out;
+}
+
+/// Initial marking that keeps a cycle-closing buffer live: one full
+/// iteration of the consumer's demand.
+[[nodiscard]] inline i64 live_cycle_marking(i64 total_cons, i64 q_dst) {
+  return checked_mul(total_cons, q_dst);
+}
+
+}  // namespace kp

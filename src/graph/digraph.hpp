@@ -1,0 +1,80 @@
+// Compact directed multigraph used by the analysis layers.
+//
+// Nodes and arcs are dense integer ids; payloads (weights, labels) live in
+// parallel vectors owned by the client. This keeps the MCRP solvers cache-
+// friendly on constraint graphs with hundreds of thousands of arcs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace kp {
+
+class Digraph {
+ public:
+  struct Arc {
+    std::int32_t src = -1;
+    std::int32_t dst = -1;
+  };
+
+  Digraph() = default;
+  explicit Digraph(std::int32_t node_count) : out_(node_count), in_(node_count) {}
+
+  std::int32_t add_node() {
+    out_.emplace_back();
+    in_.emplace_back();
+    return static_cast<std::int32_t>(out_.size()) - 1;
+  }
+
+  /// Adds an arc src -> dst and returns its id. Parallel arcs and self-loops
+  /// are allowed (both occur in constraint graphs).
+  std::int32_t add_arc(std::int32_t src, std::int32_t dst) {
+    check_node(src);
+    check_node(dst);
+    const auto id = static_cast<std::int32_t>(arcs_.size());
+    arcs_.push_back(Arc{src, dst});
+    out_[static_cast<std::size_t>(src)].push_back(id);
+    in_[static_cast<std::size_t>(dst)].push_back(id);
+    return id;
+  }
+
+  [[nodiscard]] std::int32_t node_count() const noexcept {
+    return static_cast<std::int32_t>(out_.size());
+  }
+  [[nodiscard]] std::int32_t arc_count() const noexcept {
+    return static_cast<std::int32_t>(arcs_.size());
+  }
+
+  [[nodiscard]] const Arc& arc(std::int32_t id) const {
+    if (id < 0 || id >= arc_count()) throw ModelError("Digraph::arc: bad id");
+    return arcs_[static_cast<std::size_t>(id)];
+  }
+
+  [[nodiscard]] std::span<const Arc> arcs() const noexcept { return arcs_; }
+
+  /// Ids of arcs leaving `node`.
+  [[nodiscard]] const std::vector<std::int32_t>& out_arcs(std::int32_t node) const {
+    check_node(node);
+    return out_[static_cast<std::size_t>(node)];
+  }
+
+  /// Ids of arcs entering `node`.
+  [[nodiscard]] const std::vector<std::int32_t>& in_arcs(std::int32_t node) const {
+    check_node(node);
+    return in_[static_cast<std::size_t>(node)];
+  }
+
+ private:
+  void check_node(std::int32_t n) const {
+    if (n < 0 || n >= node_count()) throw ModelError("Digraph: bad node id");
+  }
+
+  std::vector<Arc> arcs_;
+  std::vector<std::vector<std::int32_t>> out_;
+  std::vector<std::vector<std::int32_t>> in_;
+};
+
+}  // namespace kp

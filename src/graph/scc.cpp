@@ -1,0 +1,85 @@
+#include "graph/scc.hpp"
+
+#include <algorithm>
+
+namespace kp {
+
+std::vector<std::vector<std::int32_t>> SccResult::grouped() const {
+  std::vector<std::vector<std::int32_t>> out(static_cast<std::size_t>(component_count));
+  for (std::int32_t n = 0; n < static_cast<std::int32_t>(component_of.size()); ++n) {
+    out[static_cast<std::size_t>(component_of[static_cast<std::size_t>(n)])].push_back(n);
+  }
+  return out;
+}
+
+SccResult strongly_connected_components(const Digraph& g) {
+  const std::int32_t n = g.node_count();
+  SccResult result;
+  result.component_of.assign(static_cast<std::size_t>(n), -1);
+
+  std::vector<std::int32_t> index(static_cast<std::size_t>(n), -1);
+  std::vector<std::int32_t> lowlink(static_cast<std::size_t>(n), 0);
+  std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
+  std::vector<std::int32_t> stack;
+  std::int32_t next_index = 0;
+
+  // Explicit DFS frame: node + position in its out-arc list.
+  struct Frame {
+    std::int32_t node;
+    std::size_t arc_pos;
+  };
+  std::vector<Frame> dfs;
+
+  for (std::int32_t root = 0; root < n; ++root) {
+    if (index[static_cast<std::size_t>(root)] != -1) continue;
+    dfs.push_back(Frame{root, 0});
+    index[static_cast<std::size_t>(root)] = lowlink[static_cast<std::size_t>(root)] = next_index++;
+    stack.push_back(root);
+    on_stack[static_cast<std::size_t>(root)] = true;
+
+    while (!dfs.empty()) {
+      Frame& f = dfs.back();
+      const auto& outs = g.out_arcs(f.node);
+      if (f.arc_pos < outs.size()) {
+        const std::int32_t w = g.arc(outs[f.arc_pos++]).dst;
+        if (index[static_cast<std::size_t>(w)] == -1) {
+          index[static_cast<std::size_t>(w)] = lowlink[static_cast<std::size_t>(w)] = next_index++;
+          stack.push_back(w);
+          on_stack[static_cast<std::size_t>(w)] = true;
+          dfs.push_back(Frame{w, 0});
+        } else if (on_stack[static_cast<std::size_t>(w)]) {
+          lowlink[static_cast<std::size_t>(f.node)] = std::min(
+              lowlink[static_cast<std::size_t>(f.node)], index[static_cast<std::size_t>(w)]);
+        }
+      } else {
+        const std::int32_t v = f.node;
+        dfs.pop_back();
+        if (!dfs.empty()) {
+          const std::int32_t parent = dfs.back().node;
+          lowlink[static_cast<std::size_t>(parent)] =
+              std::min(lowlink[static_cast<std::size_t>(parent)],
+                       lowlink[static_cast<std::size_t>(v)]);
+        }
+        if (lowlink[static_cast<std::size_t>(v)] == index[static_cast<std::size_t>(v)]) {
+          const std::int32_t comp = result.component_count++;
+          for (;;) {
+            const std::int32_t w = stack.back();
+            stack.pop_back();
+            on_stack[static_cast<std::size_t>(w)] = false;
+            result.component_of[static_cast<std::size_t>(w)] = comp;
+            if (w == v) break;
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+bool arc_in_cycle(const Digraph& g, const SccResult& scc, std::int32_t arc_id) {
+  const auto& a = g.arc(arc_id);
+  return scc.component_of[static_cast<std::size_t>(a.src)] ==
+         scc.component_of[static_cast<std::size_t>(a.dst)];
+}
+
+}  // namespace kp

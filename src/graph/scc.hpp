@@ -1,0 +1,32 @@
+// Strongly connected components (iterative Tarjan) and condensation order.
+//
+// MCRP optima are per-SCC: circuits live inside strongly connected
+// components, so the solvers decompose the constraint graph first.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace kp {
+
+struct SccResult {
+  /// Component index of each node; components are numbered in reverse
+  /// topological order (Tarjan's output order: a component is numbered
+  /// before any component that can reach it).
+  std::vector<std::int32_t> component_of;
+  std::int32_t component_count = 0;
+
+  /// Nodes grouped by component.
+  [[nodiscard]] std::vector<std::vector<std::int32_t>> grouped() const;
+};
+
+/// Tarjan's algorithm, iterative (constraint graphs can be deep).
+[[nodiscard]] SccResult strongly_connected_components(const Digraph& g);
+
+/// True if the arc's endpoints are in the same SCC (the arc can be part of
+/// a circuit).
+[[nodiscard]] bool arc_in_cycle(const Digraph& g, const SccResult& scc, std::int32_t arc_id);
+
+}  // namespace kp

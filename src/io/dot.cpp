@@ -1,0 +1,55 @@
+#include "io/dot.hpp"
+
+#include <sstream>
+
+namespace kp {
+
+namespace {
+
+std::string vec_label(const std::vector<i64>& v) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i != 0) out += ",";
+    out += std::to_string(v[i]);
+  }
+  return out + "]";
+}
+
+}  // namespace
+
+std::string to_dot(const CsdfGraph& g) {
+  std::ostringstream os;
+  os << "digraph \"" << g.name() << "\" {\n  rankdir=LR;\n  node [shape=circle];\n";
+  for (const Task& t : g.tasks()) {
+    os << "  \"" << t.name << "\" [label=\"" << t.name << "\\nd=" << vec_label(t.durations)
+       << "\"];\n";
+  }
+  for (const Buffer& b : g.buffers()) {
+    os << "  \"" << g.task(b.src).name << "\" -> \"" << g.task(b.dst).name << "\" [label=\""
+       << vec_label(b.prod) << "/" << vec_label(b.cons) << " (" << b.initial_tokens << ")\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string constraint_graph_to_dot(const CsdfGraph& g, const ConstraintGraph& cg) {
+  std::ostringstream os;
+  os << "digraph \"constraints\" {\n  rankdir=LR;\n  node [shape=box];\n";
+  const auto node_name = [&](std::int32_t n) {
+    const auto i = static_cast<std::size_t>(n);
+    return g.task(cg.node_task[i]).name + "_" + std::to_string(cg.node_phase[i]) + "^" +
+           std::to_string(cg.node_iter[i]);
+  };
+  for (std::int32_t n = 0; n < cg.graph.node_count(); ++n) {
+    os << "  \"" << node_name(n) << "\";\n";
+  }
+  for (std::int32_t a = 0; a < cg.graph.arc_count(); ++a) {
+    const auto& arc = cg.graph.graph().arc(a);
+    os << "  \"" << node_name(arc.src) << "\" -> \"" << node_name(arc.dst) << "\" [label=\"("
+       << cg.graph.cost(a) << ", " << cg.graph.time(a).to_string() << ")\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace kp

@@ -1,0 +1,21 @@
+// Graphviz DOT export — of the dataflow graph itself and of the bi-valued
+// constraint graph (the latter regenerates the paper's Figure 5 as a
+// machine-readable artifact).
+#pragma once
+
+#include <string>
+
+#include "core/constraints.hpp"
+#include "model/csdf.hpp"
+
+namespace kp {
+
+/// DOT of the CSDFG: task nodes labelled "name [d1,d2]", buffer edges
+/// labelled "prod/cons (m0)".
+[[nodiscard]] std::string to_dot(const CsdfGraph& g);
+
+/// DOT of a constraint graph: nodes "<t_p^k>", edges "(L, H)". Pass the
+/// CsdfGraph for task names.
+[[nodiscard]] std::string constraint_graph_to_dot(const CsdfGraph& g, const ConstraintGraph& cg);
+
+}  // namespace kp

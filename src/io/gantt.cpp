@@ -1,0 +1,68 @@
+#include "io/gantt.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace kp {
+
+std::string render_gantt(const CsdfGraph& g, const std::vector<TraceEntry>& trace, i64 horizon) {
+  std::size_t name_width = 0;
+  for (const Task& t : g.tasks()) name_width = std::max(name_width, t.name.size());
+
+  std::vector<std::string> rows(static_cast<std::size_t>(g.task_count()),
+                                std::string(static_cast<std::size_t>(horizon + 1), '.'));
+  for (const TraceEntry& e : trace) {
+    if (e.start > horizon) continue;
+    const i64 end = std::min<i64>(e.end, horizon + 1);
+    const char mark = e.phase <= 9 ? static_cast<char>('0' + e.phase) : '*';
+    // Zero-duration firings still get one display cell.
+    const i64 last = std::max(e.start + 1, end);
+    for (i64 x = e.start; x < last && x <= horizon; ++x) {
+      rows[static_cast<std::size_t>(e.task)][static_cast<std::size_t>(x)] = mark;
+    }
+  }
+
+  std::ostringstream os;
+  // Time ruler every 5 columns.
+  os << std::string(name_width + 2, ' ');
+  for (i64 x = 0; x <= horizon; ++x) os << (x % 5 == 0 ? '|' : ' ');
+  os << "\n";
+  for (TaskId t = 0; t < g.task_count(); ++t) {
+    const std::string& name = g.task(t).name;
+    os << name << std::string(name_width - name.size() + 2, ' ')
+       << rows[static_cast<std::size_t>(t)] << "\n";
+  }
+  return os.str();
+}
+
+std::vector<TraceEntry> schedule_to_trace(const CsdfGraph& g, const KPeriodicSchedule& schedule,
+                                          i64 horizon) {
+  std::vector<TraceEntry> trace;
+  for (TaskId t = 0; t < g.task_count(); ++t) {
+    const std::int32_t phi = g.phases(t);
+    const i64 kt = schedule.k[static_cast<std::size_t>(t)];
+    for (i64 alpha = 0;; ++alpha) {
+      bool any = false;
+      for (i64 beta = 1; beta <= kt; ++beta) {
+        const i64 n = alpha * kt + beta;
+        for (std::int32_t p = 1; p <= phi; ++p) {
+          const Rational s = schedule.start_of(t, p, n, phi);
+          const i64 start = narrow64(s.floor());
+          if (start > horizon) continue;
+          any = true;
+          trace.push_back(TraceEntry{t, p, n, start, start + g.duration(t, p)});
+        }
+      }
+      if (!any) break;
+      if (schedule.period.is_zero()) break;  // zero-period: one block only
+    }
+  }
+  std::sort(trace.begin(), trace.end(), [](const TraceEntry& a, const TraceEntry& b) {
+    if (a.start != b.start) return a.start < b.start;
+    if (a.task != b.task) return a.task < b.task;
+    return a.phase < b.phase;
+  });
+  return trace;
+}
+
+}  // namespace kp

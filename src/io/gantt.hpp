@@ -1,0 +1,28 @@
+// ASCII Gantt rendering — text regenerations of the paper's Figures 3
+// (as-soon-as-possible schedule) and 4 (K-periodic schedule).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/kperiodic.hpp"
+#include "model/csdf.hpp"
+#include "sim/selftimed.hpp"
+
+namespace kp {
+
+/// Renders a firing trace as one row per task; each column is one time
+/// unit, digits mark the executing phase ('1'..'9', '*' beyond), '.' idle.
+/// Overlapping firings of one task show the latest phase.
+[[nodiscard]] std::string render_gantt(const CsdfGraph& g, const std::vector<TraceEntry>& trace,
+                                       i64 horizon);
+
+/// Expands a K-periodic schedule into a firing trace up to `horizon`
+/// (fractional start times are floored for display; the exact schedule is
+/// rational). Marks the explicitly-fixed executions (the first K_t per
+/// task) in the result's iteration field.
+[[nodiscard]] std::vector<TraceEntry> schedule_to_trace(const CsdfGraph& g,
+                                                        const KPeriodicSchedule& schedule,
+                                                        i64 horizon);
+
+}  // namespace kp

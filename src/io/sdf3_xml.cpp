@@ -1,0 +1,319 @@
+#include "io/sdf3_xml.hpp"
+
+#include <map>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace kp {
+
+namespace {
+
+// ---- minimal XML document model -------------------------------------------
+
+struct XmlNode {
+  std::string tag;
+  std::map<std::string, std::string> attributes;
+  std::vector<std::unique_ptr<XmlNode>> children;
+
+  [[nodiscard]] const std::string& attr(const std::string& key) const {
+    const auto it = attributes.find(key);
+    if (it == attributes.end()) {
+      throw ParseError("xml: <" + tag + "> missing attribute '" + key + "'");
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] std::string attr_or(const std::string& key, std::string fallback) const {
+    const auto it = attributes.find(key);
+    return it == attributes.end() ? std::move(fallback) : it->second;
+  }
+
+  [[nodiscard]] const XmlNode* find(const std::string& child_tag) const {
+    for (const auto& c : children) {
+      if (c->tag == child_tag) return c.get();
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] std::vector<const XmlNode*> all(const std::string& child_tag) const {
+    std::vector<const XmlNode*> out;
+    for (const auto& c : children) {
+      if (c->tag == child_tag) out.push_back(c.get());
+    }
+    return out;
+  }
+};
+
+class XmlParser {
+ public:
+  explicit XmlParser(const std::string& text) : text_(text) {}
+
+  std::unique_ptr<XmlNode> parse() {
+    skip_prolog();
+    auto root = parse_element();
+    skip_ws_and_comments();
+    if (pos_ != text_.size()) fail("trailing content after root element");
+    return root;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw ParseError("xml at offset " + std::to_string(pos_) + ": " + why);
+  }
+
+  [[nodiscard]] bool starts_with(const char* s) const {
+    return text_.compare(pos_, std::string::traits_type::length(s), s) == 0;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  void skip_ws_and_comments() {
+    for (;;) {
+      skip_ws();
+      if (starts_with("<!--")) {
+        const std::size_t end = text_.find("-->", pos_ + 4);
+        if (end == std::string::npos) fail("unterminated comment");
+        pos_ = end + 3;
+      } else {
+        return;
+      }
+    }
+  }
+
+  void skip_prolog() {
+    skip_ws();
+    if (starts_with("<?")) {
+      const std::size_t end = text_.find("?>", pos_);
+      if (end == std::string::npos) fail("unterminated XML declaration");
+      pos_ = end + 2;
+    }
+    skip_ws_and_comments();
+  }
+
+  std::string parse_name() {
+    const std::size_t begin = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_' ||
+            text_[pos_] == '-' || text_[pos_] == ':')) {
+      ++pos_;
+    }
+    if (begin == pos_) fail("expected a name");
+    return text_.substr(begin, pos_ - begin);
+  }
+
+  std::unique_ptr<XmlNode> parse_element() {
+    if (pos_ >= text_.size() || text_[pos_] != '<') fail("expected '<'");
+    ++pos_;
+    auto node = std::make_unique<XmlNode>();
+    node->tag = parse_name();
+    for (;;) {
+      skip_ws();
+      if (pos_ >= text_.size()) fail("unterminated element <" + node->tag + ">");
+      if (starts_with("/>")) {
+        pos_ += 2;
+        return node;
+      }
+      if (text_[pos_] == '>') {
+        ++pos_;
+        break;
+      }
+      const std::string key = parse_name();
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '=') fail("expected '=' after attribute name");
+      ++pos_;
+      skip_ws();
+      if (pos_ >= text_.size() || (text_[pos_] != '"' && text_[pos_] != '\'')) {
+        fail("expected quoted attribute value");
+      }
+      const char quote = text_[pos_++];
+      const std::size_t end = text_.find(quote, pos_);
+      if (end == std::string::npos) fail("unterminated attribute value");
+      node->attributes[key] = text_.substr(pos_, end - pos_);
+      pos_ = end + 1;
+    }
+    // Content: children and ignorable text, until </tag>.
+    for (;;) {
+      skip_ws_and_comments();
+      if (pos_ >= text_.size()) fail("unterminated element <" + node->tag + ">");
+      if (starts_with("</")) {
+        pos_ += 2;
+        const std::string closing = parse_name();
+        if (closing != node->tag) {
+          fail("mismatched closing tag </" + closing + "> for <" + node->tag + ">");
+        }
+        skip_ws();
+        if (pos_ >= text_.size() || text_[pos_] != '>') fail("expected '>'");
+        ++pos_;
+        return node;
+      }
+      if (text_[pos_] == '<') {
+        node->children.push_back(parse_element());
+      } else {
+        // Ignorable text content.
+        while (pos_ < text_.size() && text_[pos_] != '<') ++pos_;
+      }
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// ---- helpers ----------------------------------------------------------------
+
+std::string rate_list(const std::vector<i64>& v) {
+  std::string out;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i != 0) out += ",";
+    out += std::to_string(v[i]);
+  }
+  return out;
+}
+
+std::vector<i64> parse_rate_list(const std::string& s) {
+  std::vector<i64> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    try {
+      out.push_back(std::stoll(item));
+    } catch (const std::exception&) {
+      throw ParseError("xml: bad rate list '" + s + "'");
+    }
+  }
+  if (out.empty()) throw ParseError("xml: empty rate list");
+  return out;
+}
+
+}  // namespace
+
+std::string to_sdf3_xml(const CsdfGraph& g) {
+  std::ostringstream os;
+  os << "<?xml version=\"1.0\"?>\n";
+  os << "<sdf3 type=\"csdf\" version=\"1.0\">\n";
+  os << "  <applicationGraph name=\"" << g.name() << "\">\n";
+  os << "    <csdf name=\"" << g.name() << "\" type=\"" << g.name() << "\">\n";
+  // One out-port per outgoing buffer, one in-port per incoming buffer.
+  for (TaskId t = 0; t < g.task_count(); ++t) {
+    os << "      <actor name=\"" << g.task(t).name << "\" type=\"" << g.task(t).name << "\">\n";
+    for (BufferId b = 0; b < g.buffer_count(); ++b) {
+      if (g.buffer(b).src == t) {
+        os << "        <port type=\"out\" name=\"out" << b << "\" rate=\""
+           << rate_list(g.buffer(b).prod) << "\"/>\n";
+      }
+      if (g.buffer(b).dst == t) {
+        os << "        <port type=\"in\" name=\"in" << b << "\" rate=\""
+           << rate_list(g.buffer(b).cons) << "\"/>\n";
+      }
+    }
+    os << "      </actor>\n";
+  }
+  for (BufferId b = 0; b < g.buffer_count(); ++b) {
+    const Buffer& buf = g.buffer(b);
+    os << "      <channel name=\"" << buf.name << "\" srcActor=\"" << g.task(buf.src).name
+       << "\" srcPort=\"out" << b << "\" dstActor=\"" << g.task(buf.dst).name
+       << "\" dstPort=\"in" << b << "\"";
+    if (buf.initial_tokens != 0) os << " initialTokens=\"" << buf.initial_tokens << "\"";
+    os << "/>\n";
+  }
+  os << "    </csdf>\n";
+  os << "    <csdfProperties>\n";
+  for (const Task& t : g.tasks()) {
+    os << "      <actorProperties actor=\"" << t.name << "\">\n";
+    os << "        <processor type=\"default\" default=\"true\">\n";
+    os << "          <executionTime time=\"" << rate_list(t.durations) << "\"/>\n";
+    os << "        </processor>\n";
+    os << "      </actorProperties>\n";
+  }
+  os << "    </csdfProperties>\n";
+  os << "  </applicationGraph>\n";
+  os << "</sdf3>\n";
+  return os.str();
+}
+
+CsdfGraph from_sdf3_xml(const std::string& xml) {
+  XmlParser parser(xml);
+  const std::unique_ptr<XmlNode> root = parser.parse();
+  if (root->tag != "sdf3") throw ParseError("xml: root element must be <sdf3>");
+  const XmlNode* app = root->find("applicationGraph");
+  if (app == nullptr) throw ParseError("xml: missing <applicationGraph>");
+  const XmlNode* graph = app->find("csdf");
+  if (graph == nullptr) graph = app->find("sdf");
+  if (graph == nullptr) throw ParseError("xml: missing <csdf>/<sdf>");
+
+  // Execution times from the properties section (default to 1 per phase —
+  // some SDF3 files omit timing).
+  std::map<std::string, std::vector<i64>> times;
+  const std::string props_tag = graph->tag + "Properties";
+  if (const XmlNode* props = app->find(props_tag); props != nullptr) {
+    for (const XmlNode* ap : props->all("actorProperties")) {
+      if (const XmlNode* proc = ap->find("processor"); proc != nullptr) {
+        if (const XmlNode* et = proc->find("executionTime"); et != nullptr) {
+          times[ap->attr("actor")] = parse_rate_list(et->attr("time"));
+        }
+      }
+    }
+  }
+
+  // Port rates, keyed by (actor, port).
+  std::map<std::pair<std::string, std::string>, std::vector<i64>> port_rates;
+  std::map<std::string, std::int32_t> port_phases;  // phase count per actor
+  for (const XmlNode* actor : graph->all("actor")) {
+    const std::string& name = actor->attr("name");
+    std::int32_t phases = 0;
+    for (const XmlNode* port : actor->all("port")) {
+      std::vector<i64> rates = parse_rate_list(port->attr("rate"));
+      phases = std::max(phases, static_cast<std::int32_t>(rates.size()));
+      port_rates[{name, port->attr("name")}] = std::move(rates);
+    }
+    if (const auto it = times.find(name); it != times.end()) {
+      phases = std::max(phases, static_cast<std::int32_t>(it->second.size()));
+    }
+    port_phases[name] = std::max(phases, 1);
+  }
+
+  CsdfGraph g(graph->attr_or("name", "csdf"));
+  for (const XmlNode* actor : graph->all("actor")) {
+    const std::string& name = actor->attr("name");
+    const std::int32_t phases = port_phases[name];
+    std::vector<i64> durations(static_cast<std::size_t>(phases), 1);
+    if (const auto it = times.find(name); it != times.end()) {
+      if (static_cast<std::int32_t>(it->second.size()) != phases) {
+        throw ParseError("xml: actor '" + name + "': executionTime phase count mismatch");
+      }
+      durations = it->second;
+    }
+    g.add_task(name, std::move(durations));
+  }
+
+  auto expand = [&](std::vector<i64> rates, std::int32_t phases, const std::string& where) {
+    if (static_cast<std::int32_t>(rates.size()) == phases) return rates;
+    if (rates.size() == 1) return std::vector<i64>(static_cast<std::size_t>(phases), rates[0]);
+    throw ParseError("xml: rate phase-count mismatch at " + where);
+  };
+
+  for (const XmlNode* ch : graph->all("channel")) {
+    const std::string& src = ch->attr("srcActor");
+    const std::string& dst = ch->attr("dstActor");
+    const auto src_id = g.find_task(src);
+    const auto dst_id = g.find_task(dst);
+    if (!src_id || !dst_id) throw ParseError("xml: channel references unknown actor");
+    const auto sp = port_rates.find({src, ch->attr("srcPort")});
+    const auto dp = port_rates.find({dst, ch->attr("dstPort")});
+    if (sp == port_rates.end() || dp == port_rates.end()) {
+      throw ParseError("xml: channel references unknown port");
+    }
+    const i64 tokens = std::stoll(ch->attr_or("initialTokens", "0"));
+    g.add_buffer(ch->attr_or("name", ""), *src_id, *dst_id,
+                 expand(sp->second, g.phases(*src_id), src),
+                 expand(dp->second, g.phases(*dst_id), dst), tokens);
+  }
+  return g;
+}
+
+}  // namespace kp

@@ -1,0 +1,34 @@
+// SDF3-flavoured XML interchange (subset).
+//
+// SDF3 [15] is the de-facto exchange format for (C)SDF benchmarks; this
+// module reads and writes the subset needed to describe a CSDF graph:
+//
+//   <sdf3 type="csdf"><applicationGraph>
+//     <csdf name="g">
+//       <actor name="A"> <port type="out" name="p0" rate="3,5"/> ... </actor>
+//       <channel name="ch0" srcActor="A" srcPort="p0"
+//                dstActor="B" dstPort="p1" initialTokens="4"/>
+//     </csdf>
+//     <csdfProperties>
+//       <actorProperties actor="A"><processor type="default" default="true">
+//         <executionTime time="1,1"/></processor></actorProperties>
+//     </csdfProperties>
+//   </applicationGraph></sdf3>
+//
+// The embedded XML reader handles elements, attributes, comments and text;
+// it does not handle DTDs, namespaces or entities (none appear in SDF3
+// benchmark files). to_sdf3_xml / from_sdf3_xml round-trip exactly.
+#pragma once
+
+#include <string>
+
+#include "model/csdf.hpp"
+
+namespace kp {
+
+[[nodiscard]] std::string to_sdf3_xml(const CsdfGraph& g);
+
+/// Throws ParseError on malformed XML or on graphs outside the subset.
+[[nodiscard]] CsdfGraph from_sdf3_xml(const std::string& xml);
+
+}  // namespace kp

@@ -1,0 +1,168 @@
+#include "io/text_format.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace kp {
+
+namespace {
+
+std::string quoted(const std::string& s) { return "\"" + s + "\""; }
+
+std::string vector_literal(const std::vector<i64>& v) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i != 0) out += ",";
+    out += std::to_string(v[i]);
+  }
+  return out + "]";
+}
+
+/// Tokenizer: splits a line into words; quoted strings keep their spaces.
+std::vector<std::string> tokenize(const std::string& line, int line_no) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    } else if (line[i] == '#') {
+      break;
+    } else if (line[i] == '"') {
+      const std::size_t end = line.find('"', i + 1);
+      if (end == std::string::npos) {
+        throw ParseError("line " + std::to_string(line_no) + ": unterminated string");
+      }
+      tokens.push_back(line.substr(i + 1, end - i - 1));
+      i = end + 1;
+    } else {
+      std::size_t end = i;
+      while (end < line.size() && !std::isspace(static_cast<unsigned char>(line[end])) &&
+             line[end] != '#') {
+        ++end;
+      }
+      tokens.push_back(line.substr(i, end - i));
+      i = end;
+    }
+  }
+  return tokens;
+}
+
+std::vector<i64> parse_vector(const std::string& token, int line_no) {
+  if (token.size() < 2 || token.front() != '[' || token.back() != ']') {
+    throw ParseError("line " + std::to_string(line_no) + ": expected [v1,v2,...], got '" + token +
+                     "'");
+  }
+  std::vector<i64> out;
+  std::string body = token.substr(1, token.size() - 2);
+  std::stringstream ss(body);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    try {
+      out.push_back(std::stoll(item));
+    } catch (const std::exception&) {
+      throw ParseError("line " + std::to_string(line_no) + ": bad integer '" + item + "'");
+    }
+  }
+  if (out.empty()) {
+    throw ParseError("line " + std::to_string(line_no) + ": empty vector");
+  }
+  return out;
+}
+
+i64 parse_int(const std::string& token, int line_no) {
+  try {
+    return std::stoll(token);
+  } catch (const std::exception&) {
+    throw ParseError("line " + std::to_string(line_no) + ": bad integer '" + token + "'");
+  }
+}
+
+}  // namespace
+
+void print_csdf(std::ostream& os, const CsdfGraph& g) {
+  os << "csdf " << quoted(g.name()) << "\n";
+  for (const Task& t : g.tasks()) {
+    os << "task " << t.name << " durations " << vector_literal(t.durations) << "\n";
+  }
+  for (const Buffer& b : g.buffers()) {
+    os << "buffer " << quoted(b.name) << " " << g.task(b.src).name << " -> "
+       << g.task(b.dst).name << " prod " << vector_literal(b.prod) << " cons "
+       << vector_literal(b.cons) << " tokens " << b.initial_tokens << "\n";
+  }
+}
+
+std::string print_csdf(const CsdfGraph& g) {
+  std::ostringstream os;
+  print_csdf(os, g);
+  return os.str();
+}
+
+CsdfGraph parse_csdf(const std::string& text) {
+  CsdfGraph g;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::vector<std::string> tok = tokenize(line, line_no);
+    if (tok.empty()) continue;
+    const std::string& kind = tok[0];
+
+    auto expect = [&](std::size_t arity) {
+      if (tok.size() != arity) {
+        throw ParseError("line " + std::to_string(line_no) + ": '" + kind + "' expects " +
+                         std::to_string(arity - 1) + " arguments");
+      }
+    };
+    auto expect_word = [&](std::size_t index, const std::string& word) {
+      if (tok[index] != word) {
+        throw ParseError("line " + std::to_string(line_no) + ": expected '" + word + "', got '" +
+                         tok[index] + "'");
+      }
+    };
+    auto task_id = [&](const std::string& name) {
+      const auto id = g.find_task(name);
+      if (!id) throw ParseError("line " + std::to_string(line_no) + ": unknown task '" + name + "'");
+      return *id;
+    };
+
+    if (kind == "csdf") {
+      expect(2);
+      g.set_name(tok[1]);
+      saw_header = true;
+    } else if (kind == "task") {
+      expect(4);
+      expect_word(2, "durations");
+      g.add_task(tok[1], parse_vector(tok[3], line_no));
+    } else if (kind == "buffer") {
+      expect(11);
+      expect_word(3, "->");
+      expect_word(5, "prod");
+      expect_word(7, "cons");
+      expect_word(9, "tokens");
+      g.add_buffer(tok[1], task_id(tok[2]), task_id(tok[4]), parse_vector(tok[6], line_no),
+                   parse_vector(tok[8], line_no), parse_int(tok[10], line_no));
+    } else {
+      throw ParseError("line " + std::to_string(line_no) + ": unknown directive '" + kind + "'");
+    }
+  }
+  if (!saw_header) throw ParseError("missing 'csdf \"name\"' header");
+  return g;
+}
+
+CsdfGraph load_csdf_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ParseError("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_csdf(buffer.str());
+}
+
+void save_csdf_file(const std::string& path, const CsdfGraph& g) {
+  std::ofstream out(path);
+  if (!out) throw ParseError("cannot write '" + path + "'");
+  print_csdf(out, g);
+}
+
+}  // namespace kp

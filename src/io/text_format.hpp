@@ -1,0 +1,31 @@
+// The library's native plain-text graph format (.csdf).
+//
+// Line-oriented, whitespace-tokenized, '#' comments:
+//
+//   csdf "name"
+//   task A durations [1,1]
+//   task B durations [1,1,1]
+//   buffer "A->B" A -> B prod [3,5] cons [1,1,4] tokens 4
+//
+// Rate/duration vectors have one entry per phase of the owning task.
+// print_csdf and parse_csdf round-trip exactly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "model/csdf.hpp"
+
+namespace kp {
+
+[[nodiscard]] std::string print_csdf(const CsdfGraph& g);
+void print_csdf(std::ostream& os, const CsdfGraph& g);
+
+/// Throws ParseError with a line number on malformed input.
+[[nodiscard]] CsdfGraph parse_csdf(const std::string& text);
+
+/// File helpers (throw ParseError on I/O failure).
+[[nodiscard]] CsdfGraph load_csdf_file(const std::string& path);
+void save_csdf_file(const std::string& path, const CsdfGraph& g);
+
+}  // namespace kp

@@ -1,0 +1,69 @@
+// Bi-valued directed graph (§3.3 of the paper).
+//
+// Every arc e carries a cost L(e) (a phase duration, integer >= 0) and a
+// "time" H(e) (a rational, any sign). The Maximum Cost-to-time Ratio
+// Problem asks for λ = max over elementary circuits c of
+// R(c) = sum L / sum H, which equals the minimum period of the K-periodic
+// schedule class the graph encodes.
+//
+// Sign conventions, derived from Theorem 2's constraint
+//   S_v - S_u >= L(e) - Ω · H(e):
+//   * a circuit with H(c) > 0 lower-bounds the period: Ω >= L(c)/H(c);
+//   * a circuit with H(c) < 0, or H(c) == 0 with L(c) > 0, is satisfiable
+//     by no positive period — the schedule class is empty (the paper's
+//     "N/S" rows). Solvers must detect and report these.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "util/rational.hpp"
+
+namespace kp {
+
+class BivaluedGraph {
+ public:
+  BivaluedGraph() = default;
+  explicit BivaluedGraph(std::int32_t nodes) : g_(nodes) {}
+
+  std::int32_t add_node() { return g_.add_node(); }
+
+  std::int32_t add_arc(std::int32_t src, std::int32_t dst, i64 cost, Rational time) {
+    const std::int32_t id = g_.add_arc(src, dst);
+    cost_.push_back(cost);
+    time_.push_back(std::move(time));
+    return id;
+  }
+
+  [[nodiscard]] const Digraph& graph() const noexcept { return g_; }
+  [[nodiscard]] std::int32_t node_count() const noexcept { return g_.node_count(); }
+  [[nodiscard]] std::int32_t arc_count() const noexcept { return g_.arc_count(); }
+
+  [[nodiscard]] i64 cost(std::int32_t arc) const { return cost_.at(static_cast<std::size_t>(arc)); }
+  [[nodiscard]] const Rational& time(std::int32_t arc) const {
+    return time_.at(static_cast<std::size_t>(arc));
+  }
+
+  /// Exact L(c) over a list of arc ids.
+  [[nodiscard]] i64 cycle_cost(const std::vector<std::int32_t>& arcs) const {
+    i64 sum = 0;
+    for (const auto a : arcs) sum = checked_add(sum, cost(a));
+    return sum;
+  }
+
+  /// Exact H(c) over a list of arc ids.
+  [[nodiscard]] Rational cycle_time(const std::vector<std::int32_t>& arcs) const {
+    Rational sum;
+    for (const auto a : arcs) sum += time(a);
+    return sum;
+  }
+
+ private:
+  Digraph g_;
+  std::vector<i64> cost_;
+  std::vector<Rational> time_;
+};
+
+}  // namespace kp

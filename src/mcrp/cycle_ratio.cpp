@@ -1,0 +1,286 @@
+#include "mcrp/cycle_ratio.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "graph/scc.hpp"
+#include "mcrp/howard.hpp"
+#include "util/error.hpp"
+
+namespace kp {
+
+namespace {
+
+/// Arc of the cyclic core, with endpoints denormalized for tight loops.
+struct ArcRef {
+  std::int32_t id;   // arc id in the original graph
+  std::int32_t src;
+  std::int32_t dst;
+};
+
+/// Finds any cycle in the parent-pointer graph (node -> src of its parent
+/// arc). Returns the cycle's arc ids in forward traversal order, or empty.
+std::vector<std::int32_t> parent_graph_cycle(std::int32_t n, const std::vector<ArcRef>& arcs,
+                                             const std::vector<std::int32_t>& parent) {
+  std::vector<std::int8_t> color(static_cast<std::size_t>(n), 0);  // 0 new, 1 active, 2 done
+  std::vector<std::int32_t> path;
+  for (std::int32_t s = 0; s < n; ++s) {
+    if (color[static_cast<std::size_t>(s)] != 0 || parent[static_cast<std::size_t>(s)] < 0) {
+      continue;
+    }
+    path.clear();
+    std::int32_t v = s;
+    while (v >= 0 && color[static_cast<std::size_t>(v)] == 0) {
+      color[static_cast<std::size_t>(v)] = 1;
+      path.push_back(v);
+      const std::int32_t pa = parent[static_cast<std::size_t>(v)];
+      v = pa < 0 ? -1 : arcs[static_cast<std::size_t>(pa)].src;
+    }
+    if (v >= 0 && color[static_cast<std::size_t>(v)] == 1) {
+      // Cycle: the suffix of `path` starting at v. The walk visits cycle
+      // nodes in reverse traversal order, so collecting each node's parent
+      // arc while iterating the path backwards (stopping at v, then adding
+      // v's own parent arc) yields the forward arc order.
+      std::vector<std::int32_t> cycle;
+      for (auto rit = path.rbegin(); rit != path.rend() && *rit != v; ++rit) {
+        cycle.push_back(parent[static_cast<std::size_t>(*rit)]);
+      }
+      cycle.push_back(parent[static_cast<std::size_t>(v)]);
+      for (const std::int32_t u : path) color[static_cast<std::size_t>(u)] = 2;
+      return cycle;
+    }
+    for (const std::int32_t u : path) color[static_cast<std::size_t>(u)] = 2;
+  }
+  return {};
+}
+
+struct BfOutcome {
+  bool positive_cycle = false;
+  std::vector<std::int32_t> cycle;  // forward-order arc ids (original graph)
+};
+
+/// Queue-based (SPFA-style) longest-path relaxation with all-zero sources.
+/// Detects whether a positive-weight cycle exists and extracts one from the
+/// parent-pointer graph. Near-linear on the no-positive-cycle case that
+/// dominates the improvement loop, O(n·m) worst case like round-based
+/// Bellman–Ford.
+template <typename T, typename GreaterFn>
+BfOutcome bf_positive_cycle(std::int32_t n, const std::vector<ArcRef>& arcs,
+                            const std::vector<T>& w, GreaterFn greater) {
+  BfOutcome out;
+  std::vector<T> dist(static_cast<std::size_t>(n), T{});
+  std::vector<std::int32_t> parent(static_cast<std::size_t>(n), -1);
+  // Relaxation-path length per node: when it reaches n, the parent chain
+  // holds n+1 nodes, hence a repeated node, hence a (positive) cycle.
+  std::vector<std::int32_t> len(static_cast<std::size_t>(n), 0);
+  std::vector<std::vector<std::int32_t>> out_arcs(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    out_arcs[static_cast<std::size_t>(arcs[i].src)].push_back(static_cast<std::int32_t>(i));
+  }
+  std::deque<std::int32_t> queue;
+  std::vector<char> queued(static_cast<std::size_t>(n), 0);
+  for (std::int32_t v = 0; v < n; ++v) {
+    if (!out_arcs[static_cast<std::size_t>(v)].empty()) {
+      queue.push_back(v);
+      queued[static_cast<std::size_t>(v)] = 1;
+    }
+  }
+
+  while (!queue.empty()) {
+    const std::int32_t u = queue.front();
+    queue.pop_front();
+    queued[static_cast<std::size_t>(u)] = 0;
+    for (const std::int32_t i : out_arcs[static_cast<std::size_t>(u)]) {
+      const ArcRef& a = arcs[static_cast<std::size_t>(i)];
+      T cand = dist[static_cast<std::size_t>(a.src)] + w[static_cast<std::size_t>(i)];
+      if (!greater(cand, dist[static_cast<std::size_t>(a.dst)])) continue;
+      dist[static_cast<std::size_t>(a.dst)] = std::move(cand);
+      parent[static_cast<std::size_t>(a.dst)] = i;
+      len[static_cast<std::size_t>(a.dst)] = len[static_cast<std::size_t>(a.src)] + 1;
+      if (len[static_cast<std::size_t>(a.dst)] >= n) {
+        std::vector<std::int32_t> cyc = parent_graph_cycle(n, arcs, parent);
+        if (cyc.empty()) {
+          throw SolverError("positive-cycle detection: parent graph acyclic (invariant breach)");
+        }
+        out.positive_cycle = true;
+        out.cycle.reserve(cyc.size());
+        for (const std::int32_t local : cyc) {
+          out.cycle.push_back(arcs[static_cast<std::size_t>(local)].id);
+        }
+        return out;
+      }
+      if (!queued[static_cast<std::size_t>(a.dst)]) {
+        queued[static_cast<std::size_t>(a.dst)] = 1;
+        queue.push_back(a.dst);
+      }
+    }
+  }
+  return out;
+}
+
+/// True if the circuit makes the constraint system unsatisfiable for every
+/// positive period: H(c) < 0, or H(c) == 0 with L(c) > 0.
+bool is_infeasible_circuit(i64 cost, const Rational& time) {
+  return time.sign() < 0 || (time.is_zero() && cost > 0);
+}
+
+}  // namespace
+
+McrpResult solve_max_cycle_ratio(const BivaluedGraph& bg, const McrpOptions& options) {
+  McrpResult result;
+  const Digraph& g = bg.graph();
+  const std::int32_t n = g.node_count();
+
+  // Circuits live inside strongly connected components; restrict the cycle
+  // search to arcs whose endpoints share an SCC.
+  const SccResult scc = strongly_connected_components(g);
+  std::vector<ArcRef> cyclic;
+  for (std::int32_t a = 0; a < g.arc_count(); ++a) {
+    if (arc_in_cycle(g, scc, a)) {
+      cyclic.push_back(ArcRef{a, g.arc(a).src, g.arc(a).dst});
+    }
+  }
+
+  Rational lambda{0};
+  std::vector<std::int32_t> critical;
+
+  auto exact_cycle_ratio = [&](const std::vector<std::int32_t>& cycle, i64& cost_out,
+                               Rational& time_out) {
+    cost_out = bg.cycle_cost(cycle);
+    time_out = bg.cycle_time(cycle);
+  };
+
+  if (!cyclic.empty()) {
+    // ---- accelerated phase: Howard warm start ------------------------------
+    // Double-precision policy iteration usually lands on (or next to) the
+    // critical circuit; its candidate's *exact* ratio seeds λ so the exact
+    // phase typically needs a single confirming pass. Purely best-effort:
+    // any numeric trouble just falls through to the exact phase.
+    if (options.accelerate_with_double) {
+      try {
+        const HowardResult howard = howard_max_ratio(bg);
+        if (!howard.cycle.empty()) {
+          i64 lc = 0;
+          Rational hc;
+          exact_cycle_ratio(howard.cycle, lc, hc);
+          if (is_infeasible_circuit(lc, hc)) {
+            result.status = McrpStatus::Infeasible;
+            result.critical_cycle = howard.cycle;
+            result.iterations = howard.iterations;
+            return result;
+          }
+          if (hc.sign() > 0) {
+            Rational candidate = Rational(i128{lc}, 1) / hc;
+            if (candidate > lambda) {
+              lambda = std::move(candidate);
+              critical = howard.cycle;
+            }
+          }
+          result.iterations += howard.iterations;
+        }
+      } catch (const SolverError&) {
+        // fall through to the exact phase from λ = 0
+      }
+    }
+
+    // ---- exact phase: the result is determined here ------------------------
+    std::vector<Rational> we(cyclic.size());
+    for (int iter = 0; iter < options.max_iterations; ++iter) {
+      for (std::size_t i = 0; i < cyclic.size(); ++i) {
+        const std::int32_t id = cyclic[i].id;
+        we[i] = Rational(i128{bg.cost(id)}, 1) - lambda * bg.time(id);
+      }
+      auto gt = [](const Rational& x, const Rational& y) { return x > y; };
+      auto bf = bf_positive_cycle<Rational, decltype(gt)>(n, cyclic, we, gt);
+      if (!bf.positive_cycle) break;
+      i64 lc = 0;
+      Rational hc;
+      exact_cycle_ratio(bf.cycle, lc, hc);
+      if (is_infeasible_circuit(lc, hc)) {
+        result.status = McrpStatus::Infeasible;
+        result.critical_cycle = std::move(bf.cycle);
+        result.iterations += 1;
+        return result;
+      }
+      if (hc.sign() <= 0) {
+        throw SolverError("exact BF produced a zero-cost zero-time 'positive' circuit");
+      }
+      Rational candidate = Rational(i128{lc}, 1) / hc;
+      if (!(candidate > lambda)) {
+        throw SolverError("cycle-ratio improvement made no progress (invariant breach)");
+      }
+      lambda = std::move(candidate);
+      critical = std::move(bf.cycle);
+      ++result.iterations;
+      ++result.exact_iterations;
+    }
+
+    // λ == 0 corner: all circuits have zero total cost. Circuits with
+    // negative H are then invisible to the improvement loop (their weight is
+    // exactly zero at λ = 0) but still make the system infeasible; probe for
+    // them with weights -H. Also try to surface a zero-ratio critical
+    // circuit (weights +H) so callers can run the optimality test.
+    if (lambda.is_zero()) {
+      std::vector<Rational> wh(cyclic.size());
+      auto gt = [](const Rational& x, const Rational& y) { return x > y; };
+      for (std::size_t i = 0; i < cyclic.size(); ++i) wh[i] = -bg.time(cyclic[i].id);
+      if (auto bf = bf_positive_cycle<Rational, decltype(gt)>(n, cyclic, wh, gt);
+          bf.positive_cycle) {
+        result.status = McrpStatus::Infeasible;
+        result.critical_cycle = std::move(bf.cycle);
+        return result;
+      }
+      if (critical.empty()) {
+        for (std::size_t i = 0; i < cyclic.size(); ++i) wh[i] = bg.time(cyclic[i].id);
+        if (auto bf = bf_positive_cycle<Rational, decltype(gt)>(n, cyclic, wh, gt);
+            bf.positive_cycle) {
+          critical = std::move(bf.cycle);
+        }
+      }
+    }
+  }
+
+  result.status = cyclic.empty() ? McrpStatus::NoCycle : McrpStatus::Optimal;
+  if (result.status == McrpStatus::Optimal && critical.empty() && !lambda.is_zero()) {
+    throw SolverError("optimal ratio without critical circuit (invariant breach)");
+  }
+  result.ratio = lambda;
+  result.critical_cycle = std::move(critical);
+
+  // ---- potentials: valid start times at the optimum ------------------------
+  if (options.compute_potentials) {
+    result.potentials.assign(static_cast<std::size_t>(n), Rational{0});
+    // Worklist longest-path relaxation over *all* arcs (converges: no
+    // positive circuit exists at λ).
+    std::vector<char> queued(static_cast<std::size_t>(n), 1);
+    std::deque<std::int32_t> queue;
+    for (std::int32_t v = 0; v < n; ++v) queue.push_back(v);
+    const i128 guard_limit =
+        checked_mul(i128{n} + 1, i128{g.arc_count()} + 1);
+    i128 guard = 0;
+    while (!queue.empty()) {
+      const std::int32_t u = queue.front();
+      queue.pop_front();
+      queued[static_cast<std::size_t>(u)] = 0;
+      for (const std::int32_t a : g.out_arcs(u)) {
+        if (++guard > guard_limit) {
+          throw SolverError("potential relaxation did not converge (invariant breach)");
+        }
+        const std::int32_t v = g.arc(a).dst;
+        Rational cand = result.potentials[static_cast<std::size_t>(u)] +
+                        Rational(i128{bg.cost(a)}, 1) - lambda * bg.time(a);
+        if (cand > result.potentials[static_cast<std::size_t>(v)]) {
+          result.potentials[static_cast<std::size_t>(v)] = std::move(cand);
+          if (!queued[static_cast<std::size_t>(v)]) {
+            queued[static_cast<std::size_t>(v)] = 1;
+            queue.push_back(v);
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace kp

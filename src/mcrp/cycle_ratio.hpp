@@ -1,0 +1,68 @@
+// Exact Maximum Cost-to-time Ratio solver (§3.3).
+//
+// Algorithm: candidate-circuit improvement. Maintain a lower bound λ (the
+// exact ratio of the best circuit found so far, initially 0). At each step
+// search for a circuit with positive weight under w_λ(e) = L(e) - λ·H(e)
+// (Bellman–Ford positive-cycle detection). A found circuit either improves
+// λ to its exact ratio, or — when H(c) <= 0 — witnesses that no positive
+// period satisfies the constraint system (Infeasible). When no positive
+// circuit remains, λ is the exact optimum and the last improving circuit is
+// critical.
+//
+// Termination: every improvement sets λ to the ratio of a distinct
+// elementary circuit and ratios strictly increase, so the loop is finite.
+// A double-precision pre-pass (enabled by default) performs the same
+// improvement with floating-point labels to skip most exact iterations;
+// the exact phase always has the last word, so the result is exact
+// regardless of floating-point behaviour.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mcrp/bivalued.hpp"
+
+namespace kp {
+
+enum class McrpStatus {
+  Optimal,     ///< λ is the max cycle ratio; critical_cycle achieves it.
+  Infeasible,  ///< a circuit with H(c) <= 0, L(c) > 0 (or H(c) < 0) exists.
+  NoCycle,     ///< the graph has no circuit: any period >= 0 is feasible.
+};
+
+struct McrpResult {
+  McrpStatus status = McrpStatus::NoCycle;
+
+  /// Max cycle ratio (minimum period). Valid when status == Optimal;
+  /// zero when the critical circuit has zero total cost.
+  Rational ratio;
+
+  /// Arc ids of a critical circuit (Optimal) or of an infeasibility witness
+  /// (Infeasible), in traversal order.
+  std::vector<std::int32_t> critical_cycle;
+
+  /// Node potentials S with S_v - S_u >= L(e) - λ·H(e) for every arc —
+  /// i.e. valid start times of the minimum-period schedule. Filled when
+  /// status != Infeasible and options.compute_potentials.
+  std::vector<Rational> potentials;
+
+  /// Number of candidate-circuit improvements (exact + accelerated).
+  int iterations = 0;
+  /// Improvements performed with exact arithmetic only.
+  int exact_iterations = 0;
+};
+
+struct McrpOptions {
+  /// Run the double-precision improvement pre-pass.
+  bool accelerate_with_double = true;
+  /// Fill McrpResult::potentials.
+  bool compute_potentials = true;
+  /// Safety bound on improvement steps (a diagnostic aid; the algorithm
+  /// terminates on its own).
+  int max_iterations = 1 << 20;
+};
+
+[[nodiscard]] McrpResult solve_max_cycle_ratio(const BivaluedGraph& g,
+                                               const McrpOptions& options = {});
+
+}  // namespace kp

@@ -1,0 +1,193 @@
+#include "mcrp/howard.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "graph/scc.hpp"
+#include "util/error.hpp"
+
+namespace kp {
+
+namespace {
+
+struct CoreArc {
+  std::int32_t id;   // original arc id
+  std::int32_t src;  // core-local node index
+  std::int32_t dst;
+  double cost;
+  double time;
+};
+
+}  // namespace
+
+HowardResult howard_max_ratio(const BivaluedGraph& bg, int max_iterations) {
+  HowardResult result;
+  const Digraph& g = bg.graph();
+
+  // Restrict to the cyclic core: arcs inside an SCC (self-loops included).
+  const SccResult scc = strongly_connected_components(g);
+  std::vector<std::int32_t> local(static_cast<std::size_t>(g.node_count()), -1);
+  std::int32_t n = 0;
+  std::vector<CoreArc> arcs;
+  for (std::int32_t a = 0; a < g.arc_count(); ++a) {
+    if (!arc_in_cycle(g, scc, a)) continue;
+    const auto& e = g.arc(a);
+    for (const std::int32_t endpoint : {e.src, e.dst}) {
+      if (local[static_cast<std::size_t>(endpoint)] < 0) {
+        local[static_cast<std::size_t>(endpoint)] = n++;
+      }
+    }
+    arcs.push_back(CoreArc{a, local[static_cast<std::size_t>(e.src)],
+                           local[static_cast<std::size_t>(e.dst)],
+                           static_cast<double>(bg.cost(a)), bg.time(a).to_double()});
+  }
+  if (arcs.empty()) return result;
+
+  // Out-arc lists in core-local indexing. Every core node has at least one
+  // out-arc inside its SCC by construction.
+  std::vector<std::vector<std::int32_t>> out(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    out[static_cast<std::size_t>(arcs[i].src)].push_back(static_cast<std::int32_t>(i));
+  }
+
+  std::vector<std::int32_t> policy(static_cast<std::size_t>(n));
+  for (std::int32_t v = 0; v < n; ++v) {
+    if (out[static_cast<std::size_t>(v)].empty()) {
+      throw SolverError("howard: core node without out-arc (invariant breach)");
+    }
+    policy[static_cast<std::size_t>(v)] = out[static_cast<std::size_t>(v)].front();
+  }
+
+  std::vector<double> lambda(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> value(static_cast<std::size_t>(n), 0.0);
+  std::vector<std::int32_t> cycle_of(static_cast<std::size_t>(n), -1);
+
+  const double eps = 1e-10;
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    // ---- policy evaluation -------------------------------------------------
+    // Find the unique cycle reached from every node of the functional graph.
+    std::fill(cycle_of.begin(), cycle_of.end(), -1);
+    std::vector<std::int8_t> color(static_cast<std::size_t>(n), 0);
+    std::vector<std::int32_t> stack;
+    std::int32_t cycle_count = 0;
+    std::vector<double> cyc_lambda;
+    std::vector<std::vector<std::int32_t>> cyc_arcs;
+    std::vector<std::int8_t> resolved(static_cast<std::size_t>(n), 0);
+
+    for (std::int32_t s = 0; s < n; ++s) {
+      if (color[static_cast<std::size_t>(s)] != 0) continue;
+      stack.clear();
+      std::int32_t v = s;
+      while (color[static_cast<std::size_t>(v)] == 0) {
+        color[static_cast<std::size_t>(v)] = 1;
+        stack.push_back(v);
+        v = arcs[static_cast<std::size_t>(policy[static_cast<std::size_t>(v)])].dst;
+      }
+      if (color[static_cast<std::size_t>(v)] == 1) {
+        // New cycle discovered: nodes from v onwards in `stack`, in policy
+        // (forward) order.
+        double sum_cost = 0.0;
+        double sum_time = 0.0;
+        std::vector<std::int32_t> carcs;
+        const auto ring_begin = std::find(stack.begin(), stack.end(), v);
+        for (auto it = ring_begin; it != stack.end(); ++it) {
+          const CoreArc& pa = arcs[static_cast<std::size_t>(policy[static_cast<std::size_t>(*it)])];
+          sum_cost += pa.cost;
+          sum_time += pa.time;
+          carcs.push_back(pa.id);
+          cycle_of[static_cast<std::size_t>(*it)] = cycle_count;
+        }
+        if (sum_time <= eps && sum_cost > eps) {
+          result.status = HowardResult::Status::InfeasibleCandidate;
+          result.cycle = std::move(carcs);
+          return result;
+        }
+        const double rho = sum_time <= eps ? -std::numeric_limits<double>::infinity()
+                                           : sum_cost / sum_time;
+        // Resolve the whole ring now: anchor v gets value 0; walking the
+        // ring backwards, v[u] = w_rho(u) + v[policy(u)].
+        lambda[static_cast<std::size_t>(v)] = rho;
+        value[static_cast<std::size_t>(v)] = 0.0;
+        resolved[static_cast<std::size_t>(v)] = 1;
+        for (auto it = stack.rbegin(); it != stack.rend() && *it != v; ++it) {
+          const std::int32_t u = *it;
+          const CoreArc& pa = arcs[static_cast<std::size_t>(policy[static_cast<std::size_t>(u)])];
+          lambda[static_cast<std::size_t>(u)] = rho;
+          value[static_cast<std::size_t>(u)] =
+              value[static_cast<std::size_t>(pa.dst)] + pa.cost - rho * pa.time;
+          resolved[static_cast<std::size_t>(u)] = 1;
+        }
+        cyc_lambda.push_back(rho);
+        cyc_arcs.push_back(std::move(carcs));
+        ++cycle_count;
+      }
+      for (const std::int32_t u : stack) color[static_cast<std::size_t>(u)] = 2;
+    }
+
+    // Tree nodes: propagate values backwards through the functional graph
+    // (v[u] = w_lambda(u) + v[policy-target]); every chain ends on a ring
+    // node that is already resolved.
+    for (std::int32_t s = 0; s < n; ++s) {
+      if (resolved[static_cast<std::size_t>(s)]) continue;
+      stack.clear();
+      std::int32_t v = s;
+      while (!resolved[static_cast<std::size_t>(v)]) {
+        stack.push_back(v);
+        v = arcs[static_cast<std::size_t>(policy[static_cast<std::size_t>(v)])].dst;
+      }
+      while (!stack.empty()) {
+        const std::int32_t u = stack.back();
+        stack.pop_back();
+        const CoreArc& pa = arcs[static_cast<std::size_t>(policy[static_cast<std::size_t>(u)])];
+        lambda[static_cast<std::size_t>(u)] = lambda[static_cast<std::size_t>(pa.dst)];
+        value[static_cast<std::size_t>(u)] =
+            value[static_cast<std::size_t>(pa.dst)] + pa.cost -
+            lambda[static_cast<std::size_t>(u)] * pa.time;
+        resolved[static_cast<std::size_t>(u)] = 1;
+      }
+    }
+
+    // ---- policy improvement ------------------------------------------------
+    bool changed = false;
+    for (std::size_t i = 0; i < arcs.size(); ++i) {
+      const CoreArc& e = arcs[i];
+      const double lu = lambda[static_cast<std::size_t>(e.src)];
+      const double lx = lambda[static_cast<std::size_t>(e.dst)];
+      const double tol = 1e-9 * (1.0 + std::fabs(lu));
+      if (lx > lu + tol) {
+        policy[static_cast<std::size_t>(e.src)] = static_cast<std::int32_t>(i);
+        changed = true;
+      } else if (std::fabs(lx - lu) <= tol) {
+        const double cand = value[static_cast<std::size_t>(e.dst)] + e.cost - lu * e.time;
+        if (cand > value[static_cast<std::size_t>(e.src)] + tol) {
+          policy[static_cast<std::size_t>(e.src)] = static_cast<std::int32_t>(i);
+          changed = true;
+        }
+      }
+    }
+
+    if (!changed) {
+      // Converged: report the best policy cycle.
+      double best = -std::numeric_limits<double>::infinity();
+      std::int32_t best_idx = -1;
+      for (std::int32_t c = 0; c < cycle_count; ++c) {
+        if (cyc_lambda[static_cast<std::size_t>(c)] > best) {
+          best = cyc_lambda[static_cast<std::size_t>(c)];
+          best_idx = c;
+        }
+      }
+      if (best_idx < 0) return result;  // no cycles (cannot happen: arcs non-empty)
+      result.status = HowardResult::Status::Optimal;
+      result.ratio = best;
+      result.cycle = cyc_arcs[static_cast<std::size_t>(best_idx)];
+      return result;
+    }
+  }
+  throw SolverError("howard: did not converge within iteration budget");
+}
+
+}  // namespace kp

@@ -1,0 +1,31 @@
+// Howard's policy iteration for the maximum cycle ratio, double precision.
+//
+// This is the classical fast heuristic solver (see Dasdan-Irani-Gupta,
+// DAC'99) adapted to bi-valued graphs with mixed-sign H. It is used as an
+// ablation subject and as an optional warm-start; the library's exact
+// results never depend on it (cycle_ratio.hpp always has the last word).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mcrp/bivalued.hpp"
+
+namespace kp {
+
+struct HowardResult {
+  enum class Status {
+    Optimal,              ///< converged; `ratio` approximates the max ratio
+    InfeasibleCandidate,  ///< found a circuit with H(c) <= 0 < L(c)
+    NoCycle,              ///< graph has no circuit
+  };
+
+  Status status = Status::NoCycle;
+  double ratio = 0.0;
+  std::vector<std::int32_t> cycle;  // arc ids of the best policy circuit
+  int iterations = 0;
+};
+
+[[nodiscard]] HowardResult howard_max_ratio(const BivaluedGraph& g, int max_iterations = 10000);
+
+}  // namespace kp

@@ -1,0 +1,149 @@
+#include "model/csdf.hpp"
+
+#include <algorithm>
+
+namespace kp {
+
+TaskId CsdfGraph::add_task(std::string name, std::vector<i64> phase_durations) {
+  if (name.empty()) throw ModelError("task name must be non-empty");
+  if (find_task(name)) throw ModelError("duplicate task name '" + name + "'");
+  if (phase_durations.empty()) throw ModelError("task '" + name + "' needs at least one phase");
+  for (const i64 d : phase_durations) {
+    if (d < 0) throw ModelError("task '" + name + "' has a negative phase duration");
+  }
+  tasks_.push_back(Task{std::move(name), std::move(phase_durations)});
+  out_by_task_.emplace_back();
+  in_by_task_.emplace_back();
+  return task_count() - 1;
+}
+
+BufferId CsdfGraph::add_buffer(std::string name, TaskId src, TaskId dst, std::vector<i64> prod,
+                               std::vector<i64> cons, i64 initial_tokens) {
+  const Task& s = task(src);
+  const Task& d = task(dst);
+  if (name.empty()) name = s.name + "->" + d.name + "#" + std::to_string(buffer_count());
+  if (static_cast<std::int32_t>(prod.size()) != s.phases()) {
+    throw ModelError("buffer '" + name + "': production vector size " +
+                     std::to_string(prod.size()) + " != phi(" + s.name + ") = " +
+                     std::to_string(s.phases()));
+  }
+  if (static_cast<std::int32_t>(cons.size()) != d.phases()) {
+    throw ModelError("buffer '" + name + "': consumption vector size " +
+                     std::to_string(cons.size()) + " != phi(" + d.name + ") = " +
+                     std::to_string(d.phases()));
+  }
+  if (initial_tokens < 0) throw ModelError("buffer '" + name + "': negative marking");
+
+  Buffer b;
+  b.name = std::move(name);
+  b.src = src;
+  b.dst = dst;
+  b.prod = std::move(prod);
+  b.cons = std::move(cons);
+  b.initial_tokens = initial_tokens;
+
+  b.cum_prod.assign(b.prod.size() + 1, 0);
+  for (std::size_t p = 0; p < b.prod.size(); ++p) {
+    if (b.prod[p] < 0) throw ModelError("buffer '" + b.name + "': negative production rate");
+    b.cum_prod[p + 1] = checked_add(b.cum_prod[p], b.prod[p]);
+  }
+  b.total_prod = b.cum_prod.back();
+
+  b.cum_cons.assign(b.cons.size() + 1, 0);
+  for (std::size_t p = 0; p < b.cons.size(); ++p) {
+    if (b.cons[p] < 0) throw ModelError("buffer '" + b.name + "': negative consumption rate");
+    b.cum_cons[p + 1] = checked_add(b.cum_cons[p], b.cons[p]);
+  }
+  b.total_cons = b.cum_cons.back();
+
+  if (b.total_prod <= 0) throw ModelError("buffer '" + b.name + "': i_b must be positive");
+  if (b.total_cons <= 0) throw ModelError("buffer '" + b.name + "': o_b must be positive");
+
+  buffers_.push_back(std::move(b));
+  const BufferId id = buffer_count() - 1;
+  out_by_task_[static_cast<std::size_t>(src)].push_back(id);
+  in_by_task_[static_cast<std::size_t>(dst)].push_back(id);
+  return id;
+}
+
+BufferId CsdfGraph::add_buffer(std::string name, TaskId src, TaskId dst, i64 prod_rate,
+                               i64 cons_rate, i64 initial_tokens) {
+  // Scalar rates are shorthand for "the same rate every phase"; most useful
+  // for SDF tasks but well-defined for multi-phase endpoints too.
+  const std::vector<i64> prod(static_cast<std::size_t>(task(src).phases()), prod_rate);
+  const std::vector<i64> cons(static_cast<std::size_t>(task(dst).phases()), cons_rate);
+  return add_buffer(std::move(name), src, dst, prod, cons, initial_tokens);
+}
+
+const Task& CsdfGraph::task(TaskId t) const {
+  if (t < 0 || t >= task_count()) throw ModelError("bad task id " + std::to_string(t));
+  return tasks_[static_cast<std::size_t>(t)];
+}
+
+const Buffer& CsdfGraph::buffer(BufferId b) const {
+  if (b < 0 || b >= buffer_count()) throw ModelError("bad buffer id " + std::to_string(b));
+  return buffers_[static_cast<std::size_t>(b)];
+}
+
+i64 CsdfGraph::duration(TaskId t, std::int32_t phase) const {
+  const Task& tk = task(t);
+  if (phase < 1 || phase > tk.phases()) {
+    throw ModelError("bad phase " + std::to_string(phase) + " for task '" + tk.name + "'");
+  }
+  return tk.durations[static_cast<std::size_t>(phase - 1)];
+}
+
+const std::vector<BufferId>& CsdfGraph::out_buffers(TaskId t) const {
+  (void)task(t);  // bounds check
+  return out_by_task_[static_cast<std::size_t>(t)];
+}
+
+const std::vector<BufferId>& CsdfGraph::in_buffers(TaskId t) const {
+  (void)task(t);  // bounds check
+  return in_by_task_[static_cast<std::size_t>(t)];
+}
+
+std::optional<TaskId> CsdfGraph::find_task(std::string_view name) const noexcept {
+  for (TaskId t = 0; t < task_count(); ++t) {
+    if (tasks_[static_cast<std::size_t>(t)].name == name) return t;
+  }
+  return std::nullopt;
+}
+
+i128 CsdfGraph::produced_until(BufferId b, std::int32_t p, i128 n) const {
+  const Buffer& buf = buffer(b);
+  if (p < 1 || p > static_cast<std::int32_t>(buf.prod.size())) {
+    throw ModelError("produced_until: bad phase");
+  }
+  return i128{buf.cum_prod[static_cast<std::size_t>(p)]} +
+         checked_mul(n - 1, i128{buf.total_prod});
+}
+
+i128 CsdfGraph::consumed_until(BufferId b, std::int32_t p, i128 n) const {
+  const Buffer& buf = buffer(b);
+  if (p < 1 || p > static_cast<std::int32_t>(buf.cons.size())) {
+    throw ModelError("consumed_until: bad phase");
+  }
+  return i128{buf.cum_cons[static_cast<std::size_t>(p)]} +
+         checked_mul(n - 1, i128{buf.total_cons});
+}
+
+bool CsdfGraph::is_sdf() const noexcept {
+  return std::all_of(tasks_.begin(), tasks_.end(),
+                     [](const Task& t) { return t.phases() == 1; });
+}
+
+bool CsdfGraph::is_hsdf() const noexcept {
+  if (!is_sdf()) return false;
+  return std::all_of(buffers_.begin(), buffers_.end(), [](const Buffer& b) {
+    return b.total_prod == 1 && b.total_cons == 1;
+  });
+}
+
+i64 CsdfGraph::total_phases() const noexcept {
+  i64 sum = 0;
+  for (const auto& t : tasks_) sum += t.phases();
+  return sum;
+}
+
+}  // namespace kp

@@ -1,0 +1,137 @@
+// Cyclo-Static Dataflow Graph model (§2.1 of the paper).
+//
+// A CSDFG G = (T, B): tasks decomposed into phases with integer durations;
+// buffers (t -> t') carrying an initial marking M0 and cyclically repeating
+// per-phase production (in_b) and consumption (out_b) rate vectors.
+// Data are consumed *before* a phase executes and produced at its *end*
+// (§3.1) — the simulator and the constraint generator share this timing.
+//
+// An SDF graph is the single-phase special case; HSDF additionally has all
+// rates equal to one.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/checked.hpp"
+#include "util/error.hpp"
+
+namespace kp {
+
+using TaskId = std::int32_t;
+using BufferId = std::int32_t;
+
+/// One task t with phases 1..phi(t); phase p has duration d(t_p) >= 0.
+struct Task {
+  std::string name;
+  std::vector<i64> durations;  // size phi(t) >= 1
+
+  [[nodiscard]] std::int32_t phases() const noexcept {
+    return static_cast<std::int32_t>(durations.size());
+  }
+};
+
+/// One buffer b = (src -> dst). Cached cumulative rates make the paper's
+/// Ia/Oa token-count formulas O(1).
+struct Buffer {
+  std::string name;
+  TaskId src = -1;
+  TaskId dst = -1;
+  std::vector<i64> prod;  // in_b, indexed by src phase (size phi(src))
+  std::vector<i64> cons;  // out_b, indexed by dst phase (size phi(dst))
+  i64 initial_tokens = 0;  // M0(b)
+
+  // Derived (filled by CsdfGraph::add_buffer):
+  i64 total_prod = 0;           // i_b = sum(prod)
+  i64 total_cons = 0;           // o_b = sum(cons)
+  std::vector<i64> cum_prod;    // cum_prod[p] = sum_{a<=p} prod[a], 1-based size phi+1
+  std::vector<i64> cum_cons;    // likewise for cons
+
+  [[nodiscard]] bool is_self_loop() const noexcept { return src == dst; }
+};
+
+class CsdfGraph {
+ public:
+  CsdfGraph() = default;
+  explicit CsdfGraph(std::string name) : name_(std::move(name)) {}
+
+  // ---- construction ------------------------------------------------------
+
+  /// Adds a task with one duration per phase (at least one phase).
+  /// Task names must be unique and non-empty.
+  TaskId add_task(std::string name, std::vector<i64> phase_durations);
+
+  /// Single-phase (SDF) convenience.
+  TaskId add_task(std::string name, i64 duration) {
+    return add_task(std::move(name), std::vector<i64>{duration});
+  }
+
+  /// Adds a buffer src -> dst. `prod` must have phi(src) entries, `cons`
+  /// phi(dst) entries; totals must be positive; marking must be >= 0.
+  /// An empty name is auto-generated.
+  BufferId add_buffer(std::string name, TaskId src, TaskId dst, std::vector<i64> prod,
+                      std::vector<i64> cons, i64 initial_tokens);
+
+  /// SDF convenience: scalar rates.
+  BufferId add_buffer(std::string name, TaskId src, TaskId dst, i64 prod_rate, i64 cons_rate,
+                      i64 initial_tokens);
+
+  // ---- access --------------------------------------------------------------
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  [[nodiscard]] std::int32_t task_count() const noexcept {
+    return static_cast<std::int32_t>(tasks_.size());
+  }
+  [[nodiscard]] std::int32_t buffer_count() const noexcept {
+    return static_cast<std::int32_t>(buffers_.size());
+  }
+
+  [[nodiscard]] const Task& task(TaskId t) const;
+  [[nodiscard]] const Buffer& buffer(BufferId b) const;
+  [[nodiscard]] const std::vector<Task>& tasks() const noexcept { return tasks_; }
+  [[nodiscard]] const std::vector<Buffer>& buffers() const noexcept { return buffers_; }
+
+  [[nodiscard]] std::int32_t phases(TaskId t) const { return task(t).phases(); }
+
+  /// d(t_p), 1-based phase index.
+  [[nodiscard]] i64 duration(TaskId t, std::int32_t phase) const;
+
+  /// Buffers entering / leaving a task (includes self-loops in both).
+  [[nodiscard]] const std::vector<BufferId>& out_buffers(TaskId t) const;
+  [[nodiscard]] const std::vector<BufferId>& in_buffers(TaskId t) const;
+
+  [[nodiscard]] std::optional<TaskId> find_task(std::string_view name) const noexcept;
+
+  // ---- the paper's token-count formulas (§3.1) -----------------------------
+
+  /// Ia<t_p, n>: total data produced into b at the completion of the n-th
+  /// execution of phase p of the producer (1-based p and n).
+  [[nodiscard]] i128 produced_until(BufferId b, std::int32_t p, i128 n) const;
+
+  /// Oa<t'_p', n'>: total data consumed from b at the completion of the
+  /// n'-th execution of phase p' of the consumer.
+  [[nodiscard]] i128 consumed_until(BufferId b, std::int32_t p, i128 n) const;
+
+  /// True when every task has exactly one phase (the graph is an SDFG).
+  [[nodiscard]] bool is_sdf() const noexcept;
+
+  /// True when is_sdf() and all rates are 1 (the graph is an HSDFG).
+  [[nodiscard]] bool is_hsdf() const noexcept;
+
+  /// Sum of phi(t) over tasks.
+  [[nodiscard]] i64 total_phases() const noexcept;
+
+ private:
+  std::string name_{"csdf"};
+  std::vector<Task> tasks_;
+  std::vector<Buffer> buffers_;
+  std::vector<std::vector<BufferId>> out_by_task_;
+  std::vector<std::vector<BufferId>> in_by_task_;
+};
+
+}  // namespace kp

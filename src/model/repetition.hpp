@@ -1,0 +1,36 @@
+// Consistency analysis and repetition vector (§2.2 of the paper).
+//
+// A CSDFG is consistent iff there is a positive integer vector q with
+// q_t * i_b = q_t' * o_b for every buffer b = (t, t'). We compute the
+// smallest such vector per weakly-connected component by exact rational
+// propagation over a spanning tree, then verify every buffer (including
+// the non-tree ones).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/csdf.hpp"
+#include "util/rational.hpp"
+
+namespace kp {
+
+struct RepetitionVector {
+  bool consistent = false;
+  std::string failure_reason;  // set when !consistent
+
+  /// Smallest positive integer repetition vector (valid iff consistent).
+  std::vector<i64> q;
+
+  /// Sum over tasks of q_t (the tables' Σq column).
+  i128 sum = 0;
+
+  [[nodiscard]] i64 of(TaskId t) const { return q.at(static_cast<std::size_t>(t)); }
+};
+
+/// Computes the repetition vector; never throws on inconsistent graphs
+/// (reported in the result), but does throw OverflowError if the minimal
+/// vector cannot be represented in 64 bits.
+[[nodiscard]] RepetitionVector compute_repetition_vector(const CsdfGraph& g);
+
+}  // namespace kp

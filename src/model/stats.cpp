@@ -1,0 +1,30 @@
+#include "model/stats.hpp"
+
+#include <algorithm>
+
+namespace kp {
+
+GraphStats graph_stats(const CsdfGraph& g) {
+  GraphStats s;
+  s.tasks = g.task_count();
+  s.buffers = g.buffer_count();
+  s.total_phases = g.total_phases();
+  for (const Task& t : g.tasks()) s.max_phases = std::max(s.max_phases, t.phases());
+  const RepetitionVector rv = compute_repetition_vector(g);
+  s.consistent = rv.consistent;
+  if (rv.consistent) s.sum_q = rv.sum;
+  return s;
+}
+
+std::string GraphStats::to_string() const {
+  std::string out = "tasks=" + std::to_string(tasks) + " buffers=" + std::to_string(buffers) +
+                    " phases=" + std::to_string(total_phases);
+  if (consistent) {
+    out += " sum_q=" + kp::to_string(sum_q);
+  } else {
+    out += " INCONSISTENT";
+  }
+  return out;
+}
+
+}  // namespace kp

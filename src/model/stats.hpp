@@ -1,0 +1,24 @@
+// Summary statistics of a CSDFG — the size columns of the paper's tables.
+#pragma once
+
+#include <string>
+
+#include "model/csdf.hpp"
+#include "model/repetition.hpp"
+
+namespace kp {
+
+struct GraphStats {
+  std::int32_t tasks = 0;
+  std::int32_t buffers = 0;
+  i64 total_phases = 0;
+  std::int32_t max_phases = 0;
+  bool consistent = false;
+  i128 sum_q = 0;  // Σ_t q_t (valid iff consistent)
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+[[nodiscard]] GraphStats graph_stats(const CsdfGraph& g);
+
+}  // namespace kp

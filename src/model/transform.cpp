@@ -1,0 +1,100 @@
+#include "model/transform.hpp"
+
+#include <algorithm>
+
+namespace kp {
+
+namespace {
+
+/// Deep copy of tasks into a fresh graph (buffers are appended by callers).
+CsdfGraph copy_tasks(const CsdfGraph& g) {
+  CsdfGraph out(g.name());
+  for (const Task& t : g.tasks()) out.add_task(t.name, t.durations);
+  return out;
+}
+
+std::vector<i64> repeat_vector(const std::vector<i64>& v, i64 times) {
+  std::vector<i64> out;
+  out.reserve(v.size() * static_cast<std::size_t>(times));
+  for (i64 i = 0; i < times; ++i) out.insert(out.end(), v.begin(), v.end());
+  return out;
+}
+
+}  // namespace
+
+CsdfGraph add_serialization_buffers(const CsdfGraph& g) {
+  CsdfGraph out = copy_tasks(g);
+  for (const Buffer& b : g.buffers()) {
+    out.add_buffer(b.name, b.src, b.dst, b.prod, b.cons, b.initial_tokens);
+  }
+  for (TaskId t = 0; t < g.task_count(); ++t) {
+    const auto& outs = g.out_buffers(t);
+    const bool has_self = std::any_of(outs.begin(), outs.end(), [&](BufferId bid) {
+      return g.buffer(bid).is_self_loop();
+    });
+    if (has_self) continue;
+    const auto phi = static_cast<std::size_t>(g.phases(t));
+    out.add_buffer("serial:" + g.task(t).name, t, t, std::vector<i64>(phi, 1),
+                   std::vector<i64>(phi, 1), 1);
+  }
+  return out;
+}
+
+CsdfGraph apply_buffer_capacities(const CsdfGraph& g, const std::vector<i64>& capacities) {
+  if (static_cast<std::int32_t>(capacities.size()) != g.buffer_count()) {
+    throw ModelError("apply_buffer_capacities: need one capacity per buffer");
+  }
+  CsdfGraph out = copy_tasks(g);
+  for (BufferId i = 0; i < g.buffer_count(); ++i) {
+    const Buffer& b = g.buffer(i);
+    out.add_buffer(b.name, b.src, b.dst, b.prod, b.cons, b.initial_tokens);
+  }
+  for (BufferId i = 0; i < g.buffer_count(); ++i) {
+    const Buffer& b = g.buffer(i);
+    const i64 cap = capacities[static_cast<std::size_t>(i)];
+    if (cap < 0 || b.is_self_loop()) continue;  // unbounded
+    if (cap < b.initial_tokens) {
+      throw ModelError("buffer '" + b.name + "': capacity " + std::to_string(cap) +
+                       " below initial marking " + std::to_string(b.initial_tokens));
+    }
+    // Reverse arc: dst frees b.cons tokens of space when it finishes a phase;
+    // src claims b.prod tokens of space before it writes.
+    out.add_buffer("space:" + b.name, b.dst, b.src, b.cons, b.prod, cap - b.initial_tokens);
+  }
+  return out;
+}
+
+CsdfGraph apply_default_buffer_capacities(const CsdfGraph& g, i64 factor_num, i64 factor_den) {
+  if (factor_num <= 0 || factor_den <= 0) {
+    throw ModelError("apply_default_buffer_capacities: factor must be positive");
+  }
+  std::vector<i64> caps;
+  caps.reserve(static_cast<std::size_t>(g.buffer_count()));
+  for (const Buffer& b : g.buffers()) {
+    const i64 base = std::max(checked_add(b.total_prod, b.total_cons), b.initial_tokens);
+    const i64 cap = narrow64(ceil_div(checked_mul(i128{base}, i128{factor_num}), i128{factor_den}));
+    caps.push_back(std::max(cap, b.initial_tokens));
+  }
+  return apply_buffer_capacities(g, caps);
+}
+
+CsdfGraph expand_phases(const CsdfGraph& g, const std::vector<i64>& k) {
+  if (static_cast<std::int32_t>(k.size()) != g.task_count()) {
+    throw ModelError("expand_phases: need one K_t per task");
+  }
+  for (const i64 kt : k) {
+    if (kt < 1) throw ModelError("expand_phases: K_t must be >= 1");
+  }
+  CsdfGraph out(g.name() + "~K");
+  for (TaskId t = 0; t < g.task_count(); ++t) {
+    const Task& task = g.task(t);
+    out.add_task(task.name, repeat_vector(task.durations, k[static_cast<std::size_t>(t)]));
+  }
+  for (const Buffer& b : g.buffers()) {
+    out.add_buffer(b.name, b.src, b.dst, repeat_vector(b.prod, k[static_cast<std::size_t>(b.src)]),
+                   repeat_vector(b.cons, k[static_cast<std::size_t>(b.dst)]), b.initial_tokens);
+  }
+  return out;
+}
+
+}  // namespace kp

@@ -1,0 +1,48 @@
+// Model-to-model transformations.
+//
+// * add_serialization_buffers — make task iterations non-reentrant by adding
+//   a one-token self-buffer per task (SDF3's "disable auto-concurrency").
+//   All analyses in this library operate on the graph as given; the façade
+//   applies this transform first so every method shares one semantics.
+// * apply_buffer_capacities — model bounded buffers by reverse arcs, the
+//   transformation the paper's "fixed buffer size" rows rely on.
+// * expand_phases — the §3.2 duplication G̃ of the phase vectors (K_t copies
+//   per task). The constraint generator performs this arithmetically and
+//   never materializes G̃; this explicit version exists so tests can verify
+//   the two agree.
+#pragma once
+
+#include <vector>
+
+#include "model/csdf.hpp"
+
+namespace kp {
+
+/// Returns a copy of g where every task that has no self-buffer gets one
+/// with unit rates on every phase and a single initial token. The resulting
+/// execution semantics: one phase of a task at a time, iterations in order.
+[[nodiscard]] CsdfGraph add_serialization_buffers(const CsdfGraph& g);
+
+/// Returns a copy of g where buffer i is given capacity `capacities[i]` by
+/// adding a reverse buffer: the producer claims space before writing (its
+/// production vector becomes the reverse arc's consumption) and the consumer
+/// releases space when it finishes reading. Requires capacities[i] >=
+/// M0(buffer i); a capacity < 0 means "unbounded" (no reverse arc).
+/// Self-loop buffers are never given reverse arcs (they are already bounded
+/// by their own marking).
+[[nodiscard]] CsdfGraph apply_buffer_capacities(const CsdfGraph& g,
+                                                const std::vector<i64>& capacities);
+
+/// Uniform convenience: every non-self-loop buffer gets capacity
+/// max(M0, ceil(factor_num/factor_den * minimal_feasible_estimate)), where
+/// the estimate is max(i_b + o_b, M0) — a standard safe starting point for
+/// throughput/buffer trade-off studies.
+[[nodiscard]] CsdfGraph apply_default_buffer_capacities(const CsdfGraph& g, i64 factor_num = 2,
+                                                        i64 factor_den = 1);
+
+/// §3.2: duplicates the adjacent vectors of every task t K_t times
+/// (phases, durations, productions, consumptions); markings unchanged.
+/// The result has phi~(t) = K_t * phi(t).
+[[nodiscard]] CsdfGraph expand_phases(const CsdfGraph& g, const std::vector<i64>& k);
+
+}  // namespace kp

@@ -1,0 +1,331 @@
+#include "sim/selftimed.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/digraph.hpp"
+#include "graph/scc.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+#include "util/stopwatch.hpp"
+
+namespace kp {
+
+namespace {
+
+struct Firing {
+  i64 end = 0;
+  TaskId task = -1;
+  std::int32_t phase = 0;  // 1-based
+};
+
+/// ASAP executor for one CSDFG. Integer time; consume at start, produce at
+/// completion; firings of a task start in phase order.
+class Engine {
+ public:
+  explicit Engine(const CsdfGraph& g) : g_(g) {
+    tokens_.reserve(static_cast<std::size_t>(g.buffer_count()));
+    for (const Buffer& b : g.buffers()) tokens_.push_back(b.initial_tokens);
+    next_phase_.assign(static_cast<std::size_t>(g.task_count()), 0);  // 0-based
+    fired_.assign(static_cast<std::size_t>(g.task_count()), 0);
+    iterations_.assign(static_cast<std::size_t>(g.task_count()), 0);
+  }
+
+  [[nodiscard]] i64 time() const noexcept { return time_; }
+  [[nodiscard]] bool idle() const noexcept { return ongoing_.empty(); }
+  [[nodiscard]] i64 iterations(TaskId t) const {
+    return iterations_[static_cast<std::size_t>(t)];
+  }
+
+  /// Launches every enabled firing at the current instant (zero-duration
+  /// firings complete inline and may enable further launches). Returns the
+  /// number of firings started; throws on zero-delay livelock.
+  i64 launch_all(std::vector<TraceEntry>* trace, i64 livelock_guard) {
+    i64 launched_total = 0;
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (TaskId t = 0; t < g_.task_count(); ++t) {
+        while (enabled(t)) {
+          start_firing(t, trace);
+          progress = true;
+          if (++launched_total > livelock_guard) {
+            throw SolverError("self-timed execution: zero-delay livelock at t=" +
+                              std::to_string(time_));
+          }
+        }
+      }
+    }
+    return launched_total;
+  }
+
+  /// Advances time to the next completion and applies every completion at
+  /// that instant. Precondition: !idle().
+  void advance() {
+    i64 next = ongoing_.front().end;
+    for (const Firing& f : ongoing_) next = std::min(next, f.end);
+    time_ = next;
+    for (std::size_t i = 0; i < ongoing_.size();) {
+      if (ongoing_[i].end == time_) {
+        complete(ongoing_[i].task, ongoing_[i].phase);
+        ongoing_[i] = ongoing_.back();
+        ongoing_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  /// Canonical state encoding: tokens, phase positions, sorted ongoing
+  /// firings with relative deadlines.
+  void encode_state(std::vector<i64>& out) const {
+    out.clear();
+    out.insert(out.end(), tokens_.begin(), tokens_.end());
+    out.insert(out.end(), next_phase_.begin(), next_phase_.end());
+    std::vector<Firing> sorted = ongoing_;
+    std::sort(sorted.begin(), sorted.end(), [](const Firing& a, const Firing& b) {
+      if (a.task != b.task) return a.task < b.task;
+      if (a.phase != b.phase) return a.phase < b.phase;
+      return a.end < b.end;
+    });
+    for (const Firing& f : sorted) {
+      out.push_back(f.task);
+      out.push_back(f.phase);
+      out.push_back(f.end - time_);
+    }
+  }
+
+ private:
+  [[nodiscard]] bool enabled(TaskId t) const {
+    const auto p = next_phase_[static_cast<std::size_t>(t)];  // 0-based
+    for (const BufferId b : g_.in_buffers(t)) {
+      const Buffer& buf = g_.buffer(b);
+      if (tokens_[static_cast<std::size_t>(b)] < buf.cons[static_cast<std::size_t>(p)]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void start_firing(TaskId t, std::vector<TraceEntry>* trace) {
+    const auto p0 = next_phase_[static_cast<std::size_t>(t)];  // 0-based
+    const auto phase = static_cast<std::int32_t>(p0) + 1;
+    for (const BufferId b : g_.in_buffers(t)) {
+      tokens_[static_cast<std::size_t>(b)] -=
+          g_.buffer(b).cons[static_cast<std::size_t>(p0)];
+    }
+    const i64 d = g_.duration(t, phase);
+    ++fired_[static_cast<std::size_t>(t)];
+    next_phase_[static_cast<std::size_t>(t)] =
+        (p0 + 1) % static_cast<std::size_t>(g_.phases(t));
+    if (trace != nullptr) {
+      const i64 iteration = (fired_[static_cast<std::size_t>(t)] - 1) / g_.phases(t) + 1;
+      trace->push_back(TraceEntry{t, phase, iteration, time_, time_ + d});
+    }
+    if (d == 0) {
+      complete(t, phase);
+    } else {
+      ongoing_.push_back(Firing{time_ + d, t, phase});
+    }
+  }
+
+  void complete(TaskId t, std::int32_t phase) {
+    for (const BufferId b : g_.out_buffers(t)) {
+      const Buffer& buf = g_.buffer(b);
+      tokens_[static_cast<std::size_t>(b)] =
+          checked_add(tokens_[static_cast<std::size_t>(b)],
+                      buf.prod[static_cast<std::size_t>(phase - 1)]);
+    }
+    if (phase == g_.phases(t)) ++iterations_[static_cast<std::size_t>(t)];
+  }
+
+  const CsdfGraph& g_;
+  std::vector<i64> tokens_;
+  std::vector<std::int32_t> next_phase_;
+  std::vector<i64> fired_;
+  std::vector<i64> iterations_;
+  std::vector<Firing> ongoing_;
+  i64 time_ = 0;
+};
+
+struct ComponentOutcome {
+  SimStatus status = SimStatus::Budget;
+  Rational local_period;  // Ω of the component w.r.t. its local q
+  i64 states = 0;
+  i64 transient_time = 0;
+  i64 cycle_time = 0;
+};
+
+/// State-space exploration of one strongly-connected component.
+ComponentOutcome run_component(const CsdfGraph& sub, const RepetitionVector& local_rv,
+                               const SimOptions& options, const Stopwatch& clock) {
+  ComponentOutcome out;
+  if (sub.buffer_count() == 0) {
+    // A lone task with no self-buffer: nothing limits its rate.
+    out.status = SimStatus::Unbounded;
+    out.local_period = Rational{0};
+    return out;
+  }
+
+  Engine engine(sub);
+  const TaskId ref = 0;
+
+  struct Record {
+    std::vector<i64> state;
+    i64 time;
+    i64 iters;
+  };
+  std::vector<Record> records;
+  std::unordered_map<u64, std::vector<std::size_t>> index;
+  std::vector<i64> state;
+
+  auto snapshot = [&]() -> const Record* {
+    engine.encode_state(state);
+    const u64 h = hash_span(state);
+    auto& bucket = index[h];
+    for (const std::size_t i : bucket) {
+      if (records[i].state == state) return &records[i];
+    }
+    bucket.push_back(records.size());
+    records.push_back(Record{state, engine.time(), engine.iterations(ref)});
+    return nullptr;
+  };
+
+  engine.launch_all(nullptr, options.max_firings_per_instant);
+  if (engine.idle()) {
+    out.status = SimStatus::Deadlock;
+    out.local_period = Rational{0};
+    return out;
+  }
+  snapshot();
+
+  for (;;) {
+    if (static_cast<i64>(records.size()) > options.max_states ||
+        (options.time_budget_ms >= 0.0 && clock.elapsed_ms() > options.time_budget_ms)) {
+      out.status = SimStatus::Budget;
+      out.states = static_cast<i64>(records.size());
+      return out;
+    }
+    engine.advance();
+    engine.launch_all(nullptr, options.max_firings_per_instant);
+    if (engine.idle()) {
+      out.status = SimStatus::Deadlock;
+      out.local_period = Rational{0};
+      out.states = static_cast<i64>(records.size());
+      return out;
+    }
+    if (const Record* seen = snapshot(); seen != nullptr) {
+      const i64 dt = engine.time() - seen->time;
+      const i64 di = engine.iterations(ref) - seen->iters;
+      if (dt <= 0 || di <= 0) {
+        throw SolverError("self-timed execution: degenerate recurrence (invariant breach)");
+      }
+      out.status = SimStatus::Periodic;
+      // Ω = Δt · q_ref / Δiterations (Theorem 1 normalization).
+      out.local_period = Rational(checked_mul(i128{dt}, i128{local_rv.of(ref)}), i128{di});
+      out.states = static_cast<i64>(records.size());
+      out.transient_time = seen->time;
+      out.cycle_time = dt;
+      return out;
+    }
+  }
+}
+
+}  // namespace
+
+SimResult symbolic_execution_throughput(const CsdfGraph& g, const RepetitionVector& rv,
+                                        const SimOptions& options) {
+  if (!rv.consistent) {
+    throw ModelError("symbolic execution requires a consistent graph: " + rv.failure_reason);
+  }
+  SimResult result;
+  Stopwatch clock;
+
+  // SCC decomposition of the task graph (self-loops do not affect SCCs).
+  Digraph task_graph(g.task_count());
+  for (const Buffer& b : g.buffers()) {
+    if (!b.is_self_loop()) task_graph.add_arc(b.src, b.dst);
+  }
+  const SccResult scc = strongly_connected_components(task_graph);
+  const auto groups = scc.grouped();
+
+  bool saw_budget = false;
+  bool saw_deadlock = false;
+  Rational period{0};
+
+  for (const auto& tasks : groups) {
+    // Build the induced subgraph.
+    CsdfGraph sub(g.name() + "/scc");
+    std::vector<TaskId> local(static_cast<std::size_t>(g.task_count()), -1);
+    for (const TaskId t : tasks) {
+      local[static_cast<std::size_t>(t)] = sub.add_task(g.task(t).name, g.task(t).durations);
+    }
+    for (const Buffer& b : g.buffers()) {
+      const TaskId ls = local[static_cast<std::size_t>(b.src)];
+      const TaskId ld = local[static_cast<std::size_t>(b.dst)];
+      if (ls >= 0 && ld >= 0) sub.add_buffer(b.name, ls, ld, b.prod, b.cons, b.initial_tokens);
+    }
+    const RepetitionVector local_rv = compute_repetition_vector(sub);
+    if (!local_rv.consistent) {
+      throw SolverError("SCC subgraph inconsistent although parent is consistent");
+    }
+
+    const ComponentOutcome outcome = run_component(sub, local_rv, options, clock);
+    result.states_explored += outcome.states;
+    switch (outcome.status) {
+      case SimStatus::Deadlock:
+        saw_deadlock = true;
+        break;
+      case SimStatus::Budget:
+        saw_budget = true;
+        break;
+      case SimStatus::Unbounded:
+        break;  // contributes period 0
+      case SimStatus::Periodic: {
+        // Scale to the global repetition vector: q_global|S = c · q_local.
+        const TaskId t0 = tasks.front();
+        const i64 c = rv.of(t0) / local_rv.of(local[static_cast<std::size_t>(t0)]);
+        const Rational scaled = outcome.local_period * Rational{c};
+        if (scaled > period) {
+          period = scaled;
+          result.transient_time = outcome.transient_time;
+          result.cycle_time = outcome.cycle_time;
+        }
+        break;
+      }
+    }
+    if (saw_deadlock) break;  // throughput is 0 no matter what the rest does
+  }
+
+  if (saw_deadlock) {
+    result.status = SimStatus::Deadlock;
+    result.period = Rational{0};
+    result.throughput = Rational{0};
+  } else if (saw_budget) {
+    result.status = SimStatus::Budget;
+  } else if (period.is_zero()) {
+    result.status = SimStatus::Unbounded;
+    result.period = Rational{0};
+    result.throughput = Rational{0};
+  } else {
+    result.status = SimStatus::Periodic;
+    result.period = period;
+    result.throughput = period.reciprocal();
+  }
+  return result;
+}
+
+std::vector<TraceEntry> selftimed_trace(const CsdfGraph& g, i64 horizon, i64 max_firings) {
+  std::vector<TraceEntry> trace;
+  Engine engine(g);
+  engine.launch_all(&trace, max_firings);
+  while (!engine.idle() && engine.time() <= horizon &&
+         static_cast<i64>(trace.size()) < max_firings) {
+    engine.advance();
+    if (engine.time() > horizon) break;
+    engine.launch_all(&trace, max_firings);
+  }
+  return trace;
+}
+
+}  // namespace kp

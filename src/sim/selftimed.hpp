@@ -1,0 +1,76 @@
+// Self-timed (as-soon-as-possible) execution of a CSDFG.
+//
+// This is the exact baseline of Stuijk et al. [16] (SDF3's throughput
+// engine): execute every task as soon as its input tokens allow, hash the
+// full execution state after every event instant, and stop when a state
+// recurs — the executions between the two visits form the periodic phase,
+// whose length gives the exact throughput. Deadlock is the absence of any
+// enabled or ongoing firing.
+//
+// Graphs that are not strongly connected are decomposed first: tokens on
+// inter-SCC buffers only ever accumulate, so the graph period is
+// max over SCCs of (c_S · Ω_S) with q_global|S = c_S · q_local — the same
+// decomposition SDF3 applies.
+//
+// Execution semantics match the rest of the library: a firing consumes at
+// start and produces at completion; firings of one task start in phase
+// order; simultaneous starts are allowed unless a serialization self-buffer
+// (model/transform.hpp) forbids them. All event times are integers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/csdf.hpp"
+#include "model/repetition.hpp"
+#include "util/rational.hpp"
+
+namespace kp {
+
+enum class SimStatus {
+  Periodic,   ///< steady state found; period/throughput are exact
+  Deadlock,   ///< execution stalls: no ongoing and no enabled firing
+  Unbounded,  ///< some task is not rate-constrained at all (no buffer)
+  Budget,     ///< state/time budget exhausted before a state recurred
+};
+
+struct SimOptions {
+  /// Maximum stored states per SCC before giving up (the paper's ">1d"
+  /// rows are reproduced as budget hits).
+  i64 max_states = 250000;
+  /// Wall-clock budget in milliseconds; < 0 disables.
+  double time_budget_ms = -1.0;
+  /// Guard against zero-delay livelock (firings at one instant).
+  i64 max_firings_per_instant = 10000000;
+};
+
+struct SimResult {
+  SimStatus status = SimStatus::Budget;
+  Rational period;      // Ω_G, valid when Periodic
+  Rational throughput;  // 1/Ω_G, 0 when Deadlock
+  i64 states_explored = 0;
+  i64 transient_time = 0;  // time of the first state of the recurring cycle
+  i64 cycle_time = 0;      // steady-state cycle length (reference SCC)
+};
+
+/// Exact throughput by state-space exploration. `rv` must be consistent.
+[[nodiscard]] SimResult symbolic_execution_throughput(const CsdfGraph& g,
+                                                      const RepetitionVector& rv,
+                                                      const SimOptions& options = {});
+
+/// One firing of the ASAP execution, for Gantt rendering.
+struct TraceEntry {
+  TaskId task = -1;
+  std::int32_t phase = 0;  // 1-based
+  i64 iteration = 0;       // 1-based iteration index of the task
+  i64 start = 0;
+  i64 end = 0;
+};
+
+/// Runs the whole graph (no SCC decomposition, no state hashing) ASAP and
+/// records every firing that starts at or before `horizon`.
+[[nodiscard]] std::vector<TraceEntry> selftimed_trace(const CsdfGraph& g, i64 horizon,
+                                                      i64 max_firings = 100000);
+
+}  // namespace kp

@@ -1,0 +1,23 @@
+#include "util/checked.hpp"
+
+#include <algorithm>
+
+namespace kp {
+
+std::string to_string(i128 v) {
+  if (v == 0) return "0";
+  const bool neg = v < 0;
+  // Careful with INT128_MIN: negate digit by digit via unsigned.
+  unsigned __int128 u =
+      neg ? static_cast<unsigned __int128>(-(v + 1)) + 1 : static_cast<unsigned __int128>(v);
+  std::string out;
+  while (u != 0) {
+    out.push_back(static_cast<char>('0' + static_cast<int>(u % 10)));
+    u /= 10;
+  }
+  if (neg) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace kp

@@ -1,0 +1,44 @@
+// Exception taxonomy for the kperiod library.
+//
+// All library errors derive from kp::Error so callers can catch one type.
+// Numeric overflow is reported rather than silently wrapping: throughput
+// results are exact rationals and a wrapped intermediate would be a wrong
+// answer, not a degraded one.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace kp {
+
+/// Base class of every exception thrown by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A checked 64/128-bit operation would have wrapped.
+class OverflowError : public Error {
+ public:
+  explicit OverflowError(const std::string& what) : Error("overflow: " + what) {}
+};
+
+/// The dataflow model is malformed (bad rates, dangling task, ...).
+class ModelError : public Error {
+ public:
+  explicit ModelError(const std::string& what) : Error("model: " + what) {}
+};
+
+/// A file or string could not be parsed.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse: " + what) {}
+};
+
+/// An analysis failed (solver did not converge, precondition unmet, ...).
+class SolverError : public Error {
+ public:
+  explicit SolverError(const std::string& what) : Error("solver: " + what) {}
+};
+
+}  // namespace kp

@@ -1,0 +1,24 @@
+// Hash helpers for state-space exploration (sim/) and memo tables.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace kp {
+
+/// boost-style hash_combine on 64-bit state.
+inline void hash_combine(std::uint64_t& seed, std::uint64_t v) noexcept {
+  v *= 0xff51afd7ed558ccdULL;
+  v ^= v >> 33;
+  seed ^= v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+/// Hash of a span of 64-bit words (FNV/murmur blend, good enough for sets).
+[[nodiscard]] inline std::uint64_t hash_span(std::span<const std::int64_t> words) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto w : words) hash_combine(h, static_cast<std::uint64_t>(w));
+  return h;
+}
+
+}  // namespace kp

@@ -1,0 +1,82 @@
+// Deterministic, seedable pseudo-random generator (xoshiro256**).
+//
+// Every benchmark-graph generator takes an explicit seed so that tables
+// and tests are reproducible run-to-run and machine-to-machine; std::mt19937
+// distributions are not portable across standard libraries, hence this
+// self-contained implementation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/checked.hpp"
+#include "util/error.hpp"
+
+namespace kp {
+
+class Rng {
+ public:
+  explicit Rng(u64 seed) noexcept {
+    // splitmix64 seeding, as recommended by the xoshiro authors.
+    u64 x = seed;
+    for (auto& word : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      u64 z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  [[nodiscard]] u64 next() noexcept {
+    const u64 result = rotl(s_[1] * 5, 7) * 9;
+    const u64 t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  [[nodiscard]] i64 uniform(i64 lo, i64 hi) {
+    if (lo > hi) throw ModelError("Rng::uniform: lo > hi");
+    const u64 span = static_cast<u64>(hi - lo) + 1;
+    if (span == 0) return static_cast<i64>(next());  // full 64-bit range
+    // Rejection sampling for an unbiased draw.
+    const u64 limit = UINT64_MAX - UINT64_MAX % span;
+    u64 v = next();
+    while (v >= limit) v = next();
+    return lo + static_cast<i64>(v % span);
+  }
+
+  /// True with probability num/den.
+  [[nodiscard]] bool chance(i64 num, i64 den) { return uniform(1, den) <= num; }
+
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  [[nodiscard]] const T& pick(const std::vector<T>& v) {
+    if (v.empty()) throw ModelError("Rng::pick: empty vector");
+    return v[static_cast<std::size_t>(uniform(0, static_cast<i64>(v.size()) - 1))];
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform(0, static_cast<i64>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  [[nodiscard]] static constexpr u64 rotl(u64 x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  u64 s_[4]{};
+};
+
+}  // namespace kp

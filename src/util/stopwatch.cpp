@@ -1,0 +1,19 @@
+#include "util/stopwatch.hpp"
+
+#include <cstdio>
+
+namespace kp {
+
+std::string format_duration_ms(double ms) {
+  char buf[64];
+  if (ms >= 60000.0) {
+    std::snprintf(buf, sizeof buf, "%.1fmin", ms / 60000.0);
+  } else if (ms >= 1000.0) {
+    std::snprintf(buf, sizeof buf, "%.2fs", ms / 1000.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2fms", ms);
+  }
+  return buf;
+}
+
+}  // namespace kp

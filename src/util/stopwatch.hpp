@@ -1,0 +1,29 @@
+// Wall-clock stopwatch used by the benchmark harnesses.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+namespace kp {
+
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  [[nodiscard]] double elapsed_ms() const noexcept {
+    return std::chrono::duration<double, std::milli>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_s() const noexcept { return elapsed_ms() / 1000.0; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// "0.28ms" / "4.93s" style rendering used in the paper's tables.
+std::string format_duration_ms(double ms);
+
+}  // namespace kp

@@ -1,0 +1,54 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace kp {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) throw ModelError("Table::row: arity mismatch");
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void Table::separator() { rows_.push_back(Row{{}, true}); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    if (r.is_separator) continue;
+    for (std::size_t c = 0; c < r.cells.size(); ++c)
+      width[c] = std::max(width[c], r.cells[c].size());
+  }
+
+  auto print_line = [&] {
+    os << '+';
+    for (const auto w : width) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << cells[c] << std::string(width[c] - cells[c].size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  };
+
+  print_line();
+  print_cells(header_);
+  print_line();
+  for (const auto& r : rows_) {
+    if (r.is_separator) {
+      print_line();
+    } else {
+      print_cells(r.cells);
+    }
+  }
+  print_line();
+}
+
+}  // namespace kp

@@ -1,0 +1,35 @@
+// Minimal ASCII table renderer for the benchmark harnesses.
+//
+// The table benches print the same row/column structure as the paper's
+// Tables 1 and 2; this helper handles column sizing and alignment.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace kp {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line.
+  void separator();
+
+  void print(std::ostream& os) const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool is_separator = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace kp

@@ -1,0 +1,113 @@
+// Tests for the analysis façade (api/analysis.hpp).
+#include <gtest/gtest.h>
+
+#include "api/analysis.hpp"
+#include "gen/paper_examples.hpp"
+#include "gen/random_csdf.hpp"
+
+namespace kp {
+namespace {
+
+TEST(Api, MethodNames) {
+  EXPECT_EQ(method_name(Method::KIter), "K-Iter");
+  EXPECT_EQ(method_name(Method::Periodic), "periodic [4]");
+  EXPECT_EQ(method_name(Method::SymbolicExecution), "symbolic [16]");
+  EXPECT_EQ(method_name(Method::Expansion), "expansion [10]");
+}
+
+TEST(Api, Figure2AllMethods) {
+  const CsdfGraph g = figure2_graph();
+  const Analysis kiter = analyze_throughput(g, Method::KIter);
+  ASSERT_EQ(kiter.outcome, Outcome::Value);
+  EXPECT_EQ(kiter.quality, Quality::Exact);
+  EXPECT_EQ(kiter.period, Rational{13});
+
+  const Analysis sym = analyze_throughput(g, Method::SymbolicExecution);
+  ASSERT_EQ(sym.outcome, Outcome::Value);
+  EXPECT_EQ(sym.quality, Quality::Exact);
+  EXPECT_EQ(sym.period, Rational{13});
+
+  const Analysis periodic = analyze_throughput(g, Method::Periodic);
+  ASSERT_EQ(periodic.outcome, Outcome::Value);
+  EXPECT_EQ(periodic.quality, Quality::AchievableBound);
+  EXPECT_EQ(periodic.period, Rational{18});
+  EXPECT_GE(periodic.period, kiter.period);  // a bound, never better
+}
+
+TEST(Api, ExpansionRejectsCsdfGracefully) {
+  // figure2 is CSDF; the expansion method is SDF-only and must throw a
+  // typed error rather than crash.
+  EXPECT_THROW((void)analyze_throughput(figure2_graph(), Method::Expansion), ModelError);
+}
+
+TEST(Api, ExpansionOnSdf) {
+  const CsdfGraph g = tiny_pipeline();
+  const Analysis expansion = analyze_throughput(g, Method::Expansion);
+  const Analysis kiter = analyze_throughput(g, Method::KIter);
+  ASSERT_EQ(expansion.outcome, Outcome::Value);
+  ASSERT_EQ(kiter.outcome, Outcome::Value);
+  EXPECT_EQ(expansion.period, kiter.period);
+}
+
+TEST(Api, DeadlockOutcome) {
+  const Analysis a = analyze_throughput(figure2_deadlocked(), Method::KIter);
+  EXPECT_EQ(a.outcome, Outcome::Deadlock);
+  const Analysis b = analyze_throughput(figure2_deadlocked(), Method::SymbolicExecution);
+  EXPECT_EQ(b.outcome, Outcome::Deadlock);
+}
+
+TEST(Api, SerializationFlagChangesSemantics) {
+  // Acyclic pipeline: serialized -> finite rate; unconstrained -> infinite.
+  CsdfGraph g;
+  const TaskId a = g.add_task("a", 3);
+  const TaskId b = g.add_task("b", 5);
+  g.add_buffer("", a, b, 1, 1, 0);
+  AnalysisOptions serialize;
+  const Analysis bounded = analyze_throughput(g, Method::KIter, serialize);
+  ASSERT_EQ(bounded.outcome, Outcome::Value);
+  EXPECT_EQ(bounded.period, Rational{5});
+
+  AnalysisOptions free;
+  free.serialize_tasks = false;
+  const Analysis unbounded = analyze_throughput(g, Method::KIter, free);
+  EXPECT_EQ(unbounded.outcome, Outcome::Unbounded);
+}
+
+TEST(Api, BudgetOutcome) {
+  AnalysisOptions options;
+  options.sim.max_states = 1;
+  const Analysis a = analyze_throughput(figure2_graph(), Method::SymbolicExecution, options);
+  EXPECT_EQ(a.outcome, Outcome::Budget);
+}
+
+TEST(Api, ElapsedAndDetailPopulated) {
+  const Analysis a = analyze_throughput(figure2_graph(), Method::KIter);
+  EXPECT_GE(a.elapsed_ms, 0.0);
+  EXPECT_NE(a.detail.find("rounds="), std::string::npos);
+}
+
+// Cross-method agreement through the façade on random graphs.
+class ApiAgreement : public ::testing::TestWithParam<u64> {};
+
+TEST_P(ApiAgreement, ExactMethodsMatch) {
+  Rng rng(GetParam());
+  RandomCsdfOptions gen;
+  gen.max_tasks = 5;
+  gen.max_q = 4;
+  gen.max_phases = 2;
+  for (int round = 0; round < 10; ++round) {
+    const CsdfGraph g = random_csdf(rng, gen);
+    const Analysis kiter = analyze_throughput(g, Method::KIter);
+    const Analysis sym = analyze_throughput(g, Method::SymbolicExecution);
+    if (sym.outcome == Outcome::Budget) continue;
+    EXPECT_EQ(kiter.outcome, sym.outcome) << "round " << round;
+    if (kiter.outcome == Outcome::Value) {
+      EXPECT_EQ(kiter.period, sym.period) << "round " << round;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApiAgreement, ::testing::Values(801, 802, 803));
+
+}  // namespace
+}  // namespace kp

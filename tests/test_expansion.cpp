@@ -1,0 +1,143 @@
+// Tests for the HSDF expansion baseline (expansion/hsdf.hpp).
+#include <gtest/gtest.h>
+
+#include "core/kiter.hpp"
+#include "expansion/hsdf.hpp"
+#include "gen/categories.hpp"
+#include "gen/paper_examples.hpp"
+#include "gen/random_csdf.hpp"
+#include "model/transform.hpp"
+
+namespace kp {
+namespace {
+
+TEST(Expansion, NodeCountIsSumQ) {
+  CsdfGraph g;
+  const TaskId a = g.add_task("a", 1);
+  const TaskId b = g.add_task("b", 1);
+  g.add_buffer("", a, b, 2, 3, 0);  // q = [3, 2]
+  const RepetitionVector rv = compute_repetition_vector(g);
+  const HsdfExpansion x = expand_to_hsdf(g, rv);
+  EXPECT_EQ(x.graph.node_count(), 5);
+  EXPECT_EQ(x.node_task[0], a);
+  EXPECT_EQ(x.node_index[0], 1);
+  EXPECT_EQ(x.node_task[4], b);
+  EXPECT_EQ(x.node_index[4], 2);
+}
+
+TEST(Expansion, HsdfIsIdentitySize) {
+  CsdfGraph g;
+  const TaskId a = g.add_task("a", 2);
+  const TaskId b = g.add_task("b", 3);
+  g.add_buffer("", a, b, 1, 1, 0);
+  g.add_buffer("", b, a, 1, 1, 1);
+  const RepetitionVector rv = compute_repetition_vector(g);
+  const HsdfExpansion x = expand_to_hsdf(g, rv);
+  EXPECT_EQ(x.graph.node_count(), 2);
+  EXPECT_EQ(x.graph.arc_count(), 2);
+  const ExpansionResult r = expansion_throughput(g, rv);
+  ASSERT_EQ(r.status, ThroughputStatus::Optimal);
+  EXPECT_EQ(r.period, Rational{5});  // ring of 5 time units, 1 token
+}
+
+TEST(Expansion, RejectsCsdf) {
+  const CsdfGraph g = figure2_graph();
+  const RepetitionVector rv = compute_repetition_vector(g);
+  EXPECT_THROW((void)expand_to_hsdf(g, rv), ModelError);
+}
+
+TEST(Expansion, DeadlockOnTokenFreeCycle) {
+  CsdfGraph g;
+  const TaskId a = g.add_task("a", 1);
+  const TaskId b = g.add_task("b", 1);
+  g.add_buffer("", a, b, 1, 1, 0);
+  g.add_buffer("", b, a, 1, 1, 0);
+  const ExpansionResult r = expansion_throughput(g, compute_repetition_vector(g));
+  EXPECT_EQ(r.status, ThroughputStatus::Deadlock);
+}
+
+TEST(Expansion, UnboundedOnAcyclicUnserialized) {
+  CsdfGraph g;
+  const TaskId a = g.add_task("a", 1);
+  const TaskId b = g.add_task("b", 1);
+  g.add_buffer("", a, b, 1, 1, 0);
+  const ExpansionResult r = expansion_throughput(g, compute_repetition_vector(g));
+  EXPECT_EQ(r.status, ThroughputStatus::Unbounded);
+}
+
+TEST(Expansion, NodeBudgetHonored) {
+  CsdfGraph g;
+  const TaskId a = g.add_task("a", 1);
+  const TaskId b = g.add_task("b", 1);
+  g.add_buffer("", a, b, 1000, 999, 0);  // q = [999, 1000]
+  const RepetitionVector rv = compute_repetition_vector(g);
+  const ExpansionResult r = expansion_throughput(g, rv, /*max_nodes=*/100);
+  EXPECT_EQ(r.status, ThroughputStatus::ResourceLimit);
+  EXPECT_THROW((void)expand_to_hsdf(g, rv, 100), SolverError);
+}
+
+TEST(Expansion, MarkingShiftsIterationDistance) {
+  // a -> b, rate 1:1, m0 = 2: b_j depends on a_{j-2}, distance spread over
+  // the two iteration boundaries.
+  CsdfGraph g;
+  const TaskId a = g.add_task("a", 4);
+  const TaskId b = g.add_task("b", 1);
+  g.add_buffer("", a, b, 1, 1, 2);
+  g.add_buffer("", b, a, 1, 1, 0);
+  const RepetitionVector rv = compute_repetition_vector(g);
+  const ExpansionResult r = expansion_throughput(g, rv);
+  ASSERT_EQ(r.status, ThroughputStatus::Optimal);
+  // Cycle a->b->a carries 2 tokens over cost 5: Ω = 5/2.
+  EXPECT_EQ(r.period, Rational::of(5, 2));
+}
+
+TEST(Expansion, H263MatchesKIter) {
+  const CsdfGraph g = add_serialization_buffers(h263_decoder());
+  const RepetitionVector rv = compute_repetition_vector(g);
+  const ExpansionResult expansion = expansion_throughput(g, rv);
+  const KIterResult kiter = kiter_throughput(g, rv, {});
+  ASSERT_EQ(expansion.status, ThroughputStatus::Optimal);
+  ASSERT_EQ(kiter.status, ThroughputStatus::Optimal);
+  EXPECT_EQ(expansion.period, kiter.period);
+}
+
+TEST(Expansion, SamplerateMatchesKIter) {
+  const CsdfGraph g = add_serialization_buffers(samplerate_converter());
+  const RepetitionVector rv = compute_repetition_vector(g);
+  const ExpansionResult expansion = expansion_throughput(g, rv);
+  const KIterResult kiter = kiter_throughput(g, rv, {});
+  ASSERT_EQ(expansion.status, ThroughputStatus::Optimal);
+  ASSERT_EQ(kiter.status, ThroughputStatus::Optimal);
+  EXPECT_EQ(expansion.period, kiter.period);
+}
+
+// The expansion is an independent exact method: cross-check against K-Iter
+// on random serialized SDF graphs.
+class ExpansionVsKIter : public ::testing::TestWithParam<u64> {};
+
+TEST_P(ExpansionVsKIter, PeriodsAgree) {
+  Rng rng(GetParam());
+  RandomCsdfOptions options;
+  options.min_tasks = 2;
+  options.max_tasks = 6;
+  options.max_phases = 1;
+  options.max_q = 6;
+  int checked = 0;
+  for (int round = 0; round < 15; ++round) {
+    const CsdfGraph g = add_serialization_buffers(random_sdf(rng, options));
+    const RepetitionVector rv = compute_repetition_vector(g);
+    const ExpansionResult expansion = expansion_throughput(g, rv);
+    const KIterResult kiter = kiter_throughput(g, rv, {});
+    if (expansion.status == ThroughputStatus::ResourceLimit) continue;
+    ASSERT_EQ(kiter.status, ThroughputStatus::Optimal) << "round " << round;
+    ASSERT_EQ(expansion.status, ThroughputStatus::Optimal) << "round " << round;
+    EXPECT_EQ(expansion.period, kiter.period) << "round " << round;
+    ++checked;
+  }
+  EXPECT_GT(checked, 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExpansionVsKIter, ::testing::Values(601, 602, 603, 604, 605));
+
+}  // namespace
+}  // namespace kp

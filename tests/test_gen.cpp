@@ -1,0 +1,240 @@
+// Tests for the benchmark generators: structural guarantees (consistency,
+// liveness, connectivity), published size statistics, determinism.
+#include <gtest/gtest.h>
+
+#include "gen/categories.hpp"
+#include "gen/csdf_apps.hpp"
+#include "gen/paper_examples.hpp"
+#include "gen/random_csdf.hpp"
+#include "model/stats.hpp"
+#include "model/transform.hpp"
+#include "sim/selftimed.hpp"
+
+namespace kp {
+namespace {
+
+TEST(RandomGen, Deterministic) {
+  Rng a(7);
+  Rng b(7);
+  const CsdfGraph ga = random_csdf(a);
+  const CsdfGraph gb = random_csdf(b);
+  ASSERT_EQ(ga.task_count(), gb.task_count());
+  ASSERT_EQ(ga.buffer_count(), gb.buffer_count());
+  for (BufferId i = 0; i < ga.buffer_count(); ++i) {
+    EXPECT_EQ(ga.buffer(i).prod, gb.buffer(i).prod);
+    EXPECT_EQ(ga.buffer(i).cons, gb.buffer(i).cons);
+    EXPECT_EQ(ga.buffer(i).initial_tokens, gb.buffer(i).initial_tokens);
+  }
+}
+
+TEST(RandomGen, RespectsTaskBounds) {
+  Rng rng(9);
+  RandomCsdfOptions options;
+  options.min_tasks = 4;
+  options.max_tasks = 6;
+  for (int i = 0; i < 20; ++i) {
+    const CsdfGraph g = random_csdf(rng, options);
+    EXPECT_GE(g.task_count(), 4);
+    EXPECT_LE(g.task_count(), 6);
+  }
+}
+
+TEST(RandomGen, PhasesBounded) {
+  Rng rng(10);
+  RandomCsdfOptions options;
+  options.max_phases = 4;
+  for (int i = 0; i < 10; ++i) {
+    const CsdfGraph g = random_csdf(rng, options);
+    for (const Task& t : g.tasks()) EXPECT_LE(t.phases(), 4);
+  }
+  RandomCsdfOptions sdf_options;
+  sdf_options.max_phases = 1;
+  const CsdfGraph s = random_sdf(rng, sdf_options);
+  EXPECT_TRUE(s.is_sdf());
+}
+
+TEST(RandomGen, GeneratedGraphsAreConsistentAndLive) {
+  Rng rng(11);
+  RandomCsdfOptions options;
+  options.max_tasks = 6;
+  options.max_q = 4;
+  for (int i = 0; i < 25; ++i) {
+    const CsdfGraph g = add_serialization_buffers(random_csdf(rng, options));
+    const RepetitionVector rv = compute_repetition_vector(g);
+    ASSERT_TRUE(rv.consistent) << rv.failure_reason;
+    const SimResult sim = symbolic_execution_throughput(g, rv);
+    EXPECT_TRUE(sim.status == SimStatus::Periodic || sim.status == SimStatus::Budget)
+        << "graph " << i << " should be live";
+  }
+}
+
+TEST(ActualDsp, FiveGraphsWithTableStats) {
+  const std::vector<NamedGraph> graphs = make_actual_dsp();
+  ASSERT_EQ(graphs.size(), 5u);
+  std::int32_t min_tasks = 1 << 30;
+  std::int32_t max_tasks = 0;
+  i128 max_q = 0;
+  for (const NamedGraph& ng : graphs) {
+    const GraphStats stats = graph_stats(ng.graph);
+    ASSERT_TRUE(stats.consistent) << ng.name;
+    min_tasks = std::min(min_tasks, stats.tasks);
+    max_tasks = std::max(max_tasks, stats.tasks);
+    if (stats.sum_q > max_q) max_q = stats.sum_q;
+  }
+  // Table 1: tasks 4..22, Σq up to 4754.
+  EXPECT_EQ(min_tasks, 4);
+  EXPECT_EQ(max_tasks, 22);
+  EXPECT_EQ(max_q, 4754);
+}
+
+TEST(ActualDsp, AllLive) {
+  for (const NamedGraph& ng : make_actual_dsp()) {
+    const CsdfGraph g = add_serialization_buffers(ng.graph);
+    const RepetitionVector rv = compute_repetition_vector(g);
+    SimOptions options;
+    options.max_states = 500000;
+    const SimResult sim = symbolic_execution_throughput(g, rv, options);
+    EXPECT_TRUE(sim.status == SimStatus::Periodic || sim.status == SimStatus::Budget)
+        << ng.name;
+  }
+}
+
+TEST(MimicDsp, StatsInCategoryRange) {
+  const std::vector<NamedGraph> graphs = make_mimic_dsp(1, 30);
+  ASSERT_EQ(graphs.size(), 30u);
+  for (const NamedGraph& ng : graphs) {
+    const GraphStats stats = graph_stats(ng.graph);
+    ASSERT_TRUE(stats.consistent);
+    EXPECT_GE(stats.tasks, 3);
+    EXPECT_LE(stats.tasks, 25);
+    EXPECT_TRUE(ng.graph.is_sdf());
+  }
+}
+
+TEST(LgHsdf, LargeRepetitionVectors) {
+  const std::vector<NamedGraph> graphs = make_lg_hsdf(2, 20);
+  i128 max_q = 0;
+  for (const NamedGraph& ng : graphs) {
+    const GraphStats stats = graph_stats(ng.graph);
+    ASSERT_TRUE(stats.consistent);
+    EXPECT_LE(stats.tasks, 15);
+    if (stats.sum_q > max_q) max_q = stats.sum_q;
+  }
+  EXPECT_GT(max_q, 10000);  // the category's point: expansion-hostile
+}
+
+TEST(LgTransient, HsdfWithManyTasks) {
+  const std::vector<NamedGraph> graphs = make_lg_transient(3, 10);
+  for (const NamedGraph& ng : graphs) {
+    EXPECT_TRUE(ng.graph.is_hsdf());
+    EXPECT_GE(ng.graph.task_count(), 181);
+    EXPECT_LE(ng.graph.task_count(), 300);
+    const GraphStats stats = graph_stats(ng.graph);
+    ASSERT_TRUE(stats.consistent);
+    EXPECT_EQ(stats.sum_q, i128{stats.tasks});  // q_t = 1 everywhere
+  }
+}
+
+TEST(CsdfApps, TableSizesMatch) {
+  struct Expected {
+    const char* name;
+    std::int32_t tasks;
+    std::int32_t buffers;
+  };
+  const Expected expected[] = {
+      {"BlackScholes", 41, 40}, {"Echo", 240, 703},        {"JPEG2000", 38, 82},
+      {"Pdetect", 58, 76},      {"H264Encoder", 665, 3128}};
+  const std::vector<NamedGraph> apps = make_csdf_applications();
+  ASSERT_EQ(apps.size(), 5u);
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    EXPECT_EQ(apps[i].name, expected[i].name);
+    EXPECT_EQ(apps[i].graph.task_count(), expected[i].tasks) << expected[i].name;
+    EXPECT_EQ(apps[i].graph.buffer_count(), expected[i].buffers) << expected[i].name;
+  }
+}
+
+TEST(CsdfApps, SumQMagnitudes) {
+  // Within 10% of the published Σq (order-of-magnitude fidelity).
+  struct Expected {
+    const char* name;
+    double sum_q;
+  };
+  const Expected expected[] = {{"BlackScholes", 11895},  {"Echo", 802971540},
+                               {"JPEG2000", 336024},     {"Pdetect", 3883200},
+                               {"H264Encoder", 24094980}};
+  const std::vector<NamedGraph> apps = make_csdf_applications();
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    const GraphStats stats = graph_stats(apps[i].graph);
+    ASSERT_TRUE(stats.consistent) << expected[i].name;
+    const double measured = static_cast<double>(stats.sum_q);
+    EXPECT_GT(measured, expected[i].sum_q * 0.9) << expected[i].name;
+    EXPECT_LT(measured, expected[i].sum_q * 1.1) << expected[i].name;
+  }
+}
+
+TEST(CsdfApps, BlackScholesExactSumQ) {
+  const GraphStats stats = graph_stats(blackscholes());
+  EXPECT_EQ(stats.sum_q, 11895);
+}
+
+TEST(CsdfApps, DrawnVectorsAreMinimal) {
+  // The generators draw the repetition vector; if its whole-graph gcd were
+  // > 1 the minimal vector would silently shrink and Σq would be off. The
+  // anchor/coprime-pattern designs guarantee gcd 1.
+  for (const NamedGraph& ng : make_csdf_applications()) {
+    const RepetitionVector rv = compute_repetition_vector(ng.graph);
+    ASSERT_TRUE(rv.consistent) << ng.name;
+    i64 g = 0;
+    for (const i64 q : rv.q) g = gcd64(g, q);
+    EXPECT_EQ(g, 1) << ng.name;
+  }
+}
+
+TEST(CsdfApps, SyntheticSizes) {
+  struct Expected {
+    int index;
+    std::int32_t tasks;
+    std::int32_t buffers;
+  };
+  const Expected expected[] = {
+      {1, 90, 617}, {2, 70, 473}, {3, 154, 671}, {4, 2426, 2900}, {5, 2767, 4894}};
+  for (const Expected& e : expected) {
+    const CsdfGraph g = synthetic_graph(e.index);
+    EXPECT_EQ(g.task_count(), e.tasks) << "graph" << e.index;
+    EXPECT_EQ(g.buffer_count(), e.buffers) << "graph" << e.index;
+    EXPECT_TRUE(compute_repetition_vector(g).consistent) << "graph" << e.index;
+  }
+  EXPECT_THROW((void)synthetic_graph(0), ModelError);
+  EXPECT_THROW((void)synthetic_graph(6), ModelError);
+}
+
+TEST(CsdfApps, BufferCapacitiesKeepConsistency) {
+  const CsdfGraph base = jpeg2000();
+  const CsdfGraph g = with_buffer_capacities(base);
+  // Every buffer gains a reverse arc except the anchor's control links.
+  EXPECT_GT(g.buffer_count(), base.buffer_count());
+  EXPECT_LE(g.buffer_count(), 2 * base.buffer_count());
+  EXPECT_TRUE(compute_repetition_vector(g).consistent);
+}
+
+TEST(CsdfApps, Deterministic) {
+  const GraphStats a = graph_stats(echo());
+  const GraphStats b = graph_stats(echo());
+  EXPECT_EQ(a.sum_q, b.sum_q);
+  EXPECT_EQ(a.buffers, b.buffers);
+}
+
+TEST(PaperExamples, DeadlockedVariantDiffersOnlyInMarking) {
+  const CsdfGraph live = figure2_graph();
+  const CsdfGraph dead = figure2_deadlocked();
+  ASSERT_EQ(live.buffer_count(), dead.buffer_count());
+  int diffs = 0;
+  for (BufferId i = 0; i < live.buffer_count(); ++i) {
+    if (live.buffer(i).initial_tokens != dead.buffer(i).initial_tokens) ++diffs;
+    EXPECT_EQ(live.buffer(i).prod, dead.buffer(i).prod);
+  }
+  EXPECT_EQ(diffs, 1);
+}
+
+}  // namespace
+}  // namespace kp

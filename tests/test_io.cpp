@@ -1,0 +1,196 @@
+// Tests for the IO module: text format, SDF3 XML, DOT, Gantt.
+#include <gtest/gtest.h>
+
+#include "core/kperiodic.hpp"
+#include "gen/paper_examples.hpp"
+#include "gen/random_csdf.hpp"
+#include "io/dot.hpp"
+#include "io/gantt.hpp"
+#include "io/sdf3_xml.hpp"
+#include "io/text_format.hpp"
+#include "model/repetition.hpp"
+#include "model/transform.hpp"
+
+namespace kp {
+namespace {
+
+bool graphs_equal(const CsdfGraph& a, const CsdfGraph& b) {
+  if (a.name() != b.name() || a.task_count() != b.task_count() ||
+      a.buffer_count() != b.buffer_count()) {
+    return false;
+  }
+  for (TaskId t = 0; t < a.task_count(); ++t) {
+    if (a.task(t).name != b.task(t).name || a.task(t).durations != b.task(t).durations) {
+      return false;
+    }
+  }
+  for (BufferId i = 0; i < a.buffer_count(); ++i) {
+    const Buffer& x = a.buffer(i);
+    const Buffer& y = b.buffer(i);
+    if (x.src != y.src || x.dst != y.dst || x.prod != y.prod || x.cons != y.cons ||
+        x.initial_tokens != y.initial_tokens) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(TextFormat, RoundTripFigure2) {
+  const CsdfGraph g = figure2_graph();
+  const CsdfGraph back = parse_csdf(print_csdf(g));
+  EXPECT_TRUE(graphs_equal(g, back));
+}
+
+TEST(TextFormat, PrintContainsExpectedLines) {
+  const std::string text = print_csdf(figure2_graph());
+  EXPECT_NE(text.find("csdf \"figure2\""), std::string::npos);
+  EXPECT_NE(text.find("task B durations [1,1,1]"), std::string::npos);
+  EXPECT_NE(text.find("prod [3,5] cons [1,1,4] tokens 0"), std::string::npos);
+}
+
+TEST(TextFormat, CommentsAndBlankLines) {
+  const std::string text =
+      "# a comment\n"
+      "csdf \"mini\"\n"
+      "\n"
+      "task A durations [1]   # trailing comment\n"
+      "task B durations [2]\n"
+      "buffer \"x\" A -> B prod [1] cons [1] tokens 3\n";
+  const CsdfGraph g = parse_csdf(text);
+  EXPECT_EQ(g.task_count(), 2);
+  EXPECT_EQ(g.buffer(0).initial_tokens, 3);
+}
+
+TEST(TextFormat, Errors) {
+  EXPECT_THROW((void)parse_csdf("task A durations [1]\n"), ParseError);  // no header
+  EXPECT_THROW((void)parse_csdf("csdf \"x\"\nbogus\n"), ParseError);
+  EXPECT_THROW((void)parse_csdf("csdf \"x\"\ntask A durations 1\n"), ParseError);
+  EXPECT_THROW((void)parse_csdf("csdf \"x\"\ntask A durations [a]\n"), ParseError);
+  EXPECT_THROW((void)parse_csdf("csdf \"x\"\ntask A durations []\n"), ParseError);
+  EXPECT_THROW(
+      (void)parse_csdf("csdf \"x\"\ntask A durations [1]\n"
+                       "buffer \"b\" A -> Z prod [1] cons [1] tokens 0\n"),
+      ParseError);  // unknown task
+  EXPECT_THROW((void)parse_csdf("csdf \"x\n"), ParseError);  // unterminated string
+}
+
+TEST(TextFormat, FileRoundTrip) {
+  const CsdfGraph g = figure2_graph();
+  const std::string path = ::testing::TempDir() + "/fig2.csdf";
+  save_csdf_file(path, g);
+  const CsdfGraph back = load_csdf_file(path);
+  EXPECT_TRUE(graphs_equal(g, back));
+  EXPECT_THROW((void)load_csdf_file("/nonexistent/path.csdf"), ParseError);
+}
+
+TEST(Sdf3Xml, RoundTripFigure2) {
+  const CsdfGraph g = figure2_graph();
+  const CsdfGraph back = from_sdf3_xml(to_sdf3_xml(g));
+  EXPECT_TRUE(graphs_equal(g, back));
+}
+
+TEST(Sdf3Xml, WriterEmitsStructure) {
+  const std::string xml = to_sdf3_xml(figure2_graph());
+  EXPECT_NE(xml.find("<sdf3 type=\"csdf\""), std::string::npos);
+  EXPECT_NE(xml.find("<actor name=\"A\""), std::string::npos);
+  EXPECT_NE(xml.find("rate=\"3,5\""), std::string::npos);
+  EXPECT_NE(xml.find("initialTokens=\"4\""), std::string::npos);
+  EXPECT_NE(xml.find("<executionTime time=\"1,1,1\"/>"), std::string::npos);
+}
+
+TEST(Sdf3Xml, ParsesHandWrittenSdf) {
+  const std::string xml = R"(<?xml version="1.0"?>
+<!-- hand-written -->
+<sdf3 type="sdf" version="1.0">
+  <applicationGraph name="app">
+    <sdf name="pair" type="pair">
+      <actor name="src"><port type="out" name="o" rate="2"/></actor>
+      <actor name="dst"><port type="in" name="i" rate="3"/></actor>
+      <channel name="c" srcActor="src" srcPort="o" dstActor="dst" dstPort="i"
+               initialTokens="1"/>
+    </sdf>
+    <sdfProperties>
+      <actorProperties actor="src"><processor type="p" default="true">
+        <executionTime time="5"/></processor></actorProperties>
+    </sdfProperties>
+  </applicationGraph>
+</sdf3>)";
+  const CsdfGraph g = from_sdf3_xml(xml);
+  EXPECT_EQ(g.task_count(), 2);
+  EXPECT_EQ(g.task(*g.find_task("src")).durations, (std::vector<i64>{5}));
+  EXPECT_EQ(g.task(*g.find_task("dst")).durations, (std::vector<i64>{1}));  // default
+  EXPECT_EQ(g.buffer(0).prod, (std::vector<i64>{2}));
+  EXPECT_EQ(g.buffer(0).cons, (std::vector<i64>{3}));
+  EXPECT_EQ(g.buffer(0).initial_tokens, 1);
+}
+
+TEST(Sdf3Xml, Errors) {
+  EXPECT_THROW((void)from_sdf3_xml("<foo/>"), ParseError);
+  EXPECT_THROW((void)from_sdf3_xml("<sdf3><applicationGraph/></sdf3>"), ParseError);
+  EXPECT_THROW((void)from_sdf3_xml("not xml at all"), ParseError);
+  EXPECT_THROW((void)from_sdf3_xml("<sdf3><unclosed></sdf3>"), ParseError);
+  EXPECT_THROW((void)from_sdf3_xml("<sdf3 attr=broken></sdf3>"), ParseError);
+}
+
+TEST(Dot, GraphExport) {
+  const std::string dot = to_dot(figure2_graph());
+  EXPECT_NE(dot.find("digraph \"figure2\""), std::string::npos);
+  EXPECT_NE(dot.find("\"A\" -> \"B\""), std::string::npos);
+  EXPECT_NE(dot.find("[3,5]/[1,1,4] (0)"), std::string::npos);
+}
+
+TEST(Dot, ConstraintGraphExport) {
+  const CsdfGraph g = figure2_graph();
+  const RepetitionVector rv = compute_repetition_vector(g);
+  const ConstraintGraph cg =
+      build_constraint_graph(g, rv, std::vector<i64>(4, 1));
+  const std::string dot = constraint_graph_to_dot(g, cg);
+  EXPECT_NE(dot.find("\"A_1^1\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"(1, "), std::string::npos);
+}
+
+TEST(Gantt, RendersAsapTrace) {
+  const CsdfGraph g = add_serialization_buffers(figure2_graph());
+  const std::vector<TraceEntry> trace = selftimed_trace(g, 25);
+  const std::string gantt = render_gantt(g, trace, 25);
+  // One row per task (serialization self-loops do not add tasks).
+  EXPECT_NE(gantt.find("A  "), std::string::npos);
+  EXPECT_NE(gantt.find("D  "), std::string::npos);
+  // A starts at t=0 with phase 1.
+  const std::size_t a_row = gantt.find("\nA");
+  ASSERT_NE(a_row, std::string::npos);
+  EXPECT_EQ(gantt[a_row + 4], '1');
+}
+
+TEST(Gantt, ScheduleTraceMatchesClosedForm) {
+  const CsdfGraph g = add_serialization_buffers(figure2_graph());
+  const RepetitionVector rv = compute_repetition_vector(g);
+  const KPeriodicResult r = periodic_schedule(g, rv);
+  ASSERT_EQ(r.status, KEvalStatus::Feasible);
+  const std::vector<TraceEntry> trace = schedule_to_trace(g, r.schedule, 40);
+  ASSERT_FALSE(trace.empty());
+  for (const TraceEntry& e : trace) {
+    EXPECT_LE(e.start, 40);
+    const Rational exact = r.schedule.start_of(e.task, e.phase, e.iteration, g.phases(e.task));
+    EXPECT_EQ(exact.floor(), e.start);
+  }
+  const std::string gantt = render_gantt(g, trace, 40);
+  EXPECT_FALSE(gantt.empty());
+}
+
+// Round-trip property over random graphs, both formats.
+class IoRoundTrip : public ::testing::TestWithParam<u64> {};
+
+TEST_P(IoRoundTrip, TextAndXml) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 10; ++round) {
+    const CsdfGraph g = random_csdf(rng);
+    EXPECT_TRUE(graphs_equal(g, parse_csdf(print_csdf(g)))) << "text round " << round;
+    EXPECT_TRUE(graphs_equal(g, from_sdf3_xml(to_sdf3_xml(g)))) << "xml round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IoRoundTrip, ::testing::Values(701, 702, 703));
+
+}  // namespace
+}  // namespace kp

@@ -1,0 +1,287 @@
+// Tests for the MCRP solvers: the exact cycle-ratio engine, Howard's
+// policy iteration and Karp's max cycle mean, cross-checked on random
+// instances.
+#include <gtest/gtest.h>
+
+#include "mcrp/cycle_ratio.hpp"
+#include "mcrp/howard.hpp"
+#include "mcrp/karp.hpp"
+#include "util/rng.hpp"
+
+namespace kp {
+namespace {
+
+BivaluedGraph single_loop(i64 cost, const Rational& time) {
+  BivaluedGraph g(1);
+  g.add_arc(0, 0, cost, time);
+  return g;
+}
+
+TEST(CycleRatio, SelfLoop) {
+  const McrpResult r = solve_max_cycle_ratio(single_loop(6, Rational{2}));
+  ASSERT_EQ(r.status, McrpStatus::Optimal);
+  EXPECT_EQ(r.ratio, Rational{3});
+  EXPECT_EQ(r.critical_cycle.size(), 1u);
+}
+
+TEST(CycleRatio, PicksMaxOfTwoLoops) {
+  BivaluedGraph g(2);
+  g.add_arc(0, 0, 3, Rational{1});                 // ratio 3
+  g.add_arc(1, 1, 10, Rational{4});                // ratio 5/2 < 3
+  const McrpResult r = solve_max_cycle_ratio(g);
+  ASSERT_EQ(r.status, McrpStatus::Optimal);
+  EXPECT_EQ(r.ratio, Rational{3});
+}
+
+TEST(CycleRatio, TwoArcCycleExactFraction) {
+  BivaluedGraph g(2);
+  g.add_arc(0, 1, 5, Rational::of(1, 3));
+  g.add_arc(1, 0, 2, Rational::of(1, 7));
+  const McrpResult r = solve_max_cycle_ratio(g);
+  ASSERT_EQ(r.status, McrpStatus::Optimal);
+  // (5+2) / (1/3+1/7) = 7 / (10/21) = 147/10
+  EXPECT_EQ(r.ratio, Rational::of(147, 10));
+  EXPECT_EQ(r.critical_cycle.size(), 2u);
+}
+
+TEST(CycleRatio, NoCycle) {
+  BivaluedGraph g(3);
+  g.add_arc(0, 1, 5, Rational{1});
+  g.add_arc(1, 2, 5, Rational{1});
+  const McrpResult r = solve_max_cycle_ratio(g);
+  EXPECT_EQ(r.status, McrpStatus::NoCycle);
+}
+
+TEST(CycleRatio, InfeasibleNegativeTime) {
+  BivaluedGraph g(2);
+  g.add_arc(0, 1, 1, Rational{1});
+  g.add_arc(1, 0, 1, Rational{-2});  // H(c) = -1 < 0, L(c) = 2 > 0
+  const McrpResult r = solve_max_cycle_ratio(g);
+  EXPECT_EQ(r.status, McrpStatus::Infeasible);
+  EXPECT_EQ(r.critical_cycle.size(), 2u);
+}
+
+TEST(CycleRatio, InfeasibleZeroTimePositiveCost) {
+  BivaluedGraph g(2);
+  g.add_arc(0, 1, 1, Rational{1});
+  g.add_arc(1, 0, 1, Rational{-1});  // H(c) = 0, L(c) = 2
+  const McrpResult r = solve_max_cycle_ratio(g);
+  EXPECT_EQ(r.status, McrpStatus::Infeasible);
+}
+
+TEST(CycleRatio, InfeasibleHiddenBehindFeasibleLoop) {
+  // The negative-H circuit has weight 0 at λ=0 and only becomes visible
+  // once λ rises — the solver must still find it.
+  BivaluedGraph g(3);
+  g.add_arc(0, 0, 4, Rational{2});   // feasible, ratio 2
+  g.add_arc(1, 2, 3, Rational{1});
+  g.add_arc(2, 1, 3, Rational{-2});  // H(c) = -1 < 0: infeasible
+  const McrpResult r = solve_max_cycle_ratio(g);
+  EXPECT_EQ(r.status, McrpStatus::Infeasible);
+}
+
+TEST(CycleRatio, ZeroCostCircuitsGiveZeroRatio) {
+  BivaluedGraph g(2);
+  g.add_arc(0, 1, 0, Rational{1});
+  g.add_arc(1, 0, 0, Rational{1});
+  const McrpResult r = solve_max_cycle_ratio(g);
+  ASSERT_EQ(r.status, McrpStatus::Optimal);
+  EXPECT_TRUE(r.ratio.is_zero());
+  EXPECT_FALSE(r.critical_cycle.empty());
+}
+
+TEST(CycleRatio, ZeroCostNegativeTimeIsInfeasible) {
+  // L(c) = 0, H(c) < 0 admits only the degenerate Ω = 0.
+  BivaluedGraph g(2);
+  g.add_arc(0, 1, 0, Rational{1});
+  g.add_arc(1, 0, 0, Rational{-2});
+  const McrpResult r = solve_max_cycle_ratio(g);
+  EXPECT_EQ(r.status, McrpStatus::Infeasible);
+}
+
+TEST(CycleRatio, PotentialsSatisfyAllConstraints) {
+  Rng rng(99);
+  for (int round = 0; round < 10; ++round) {
+    const auto n = static_cast<std::int32_t>(rng.uniform(3, 15));
+    BivaluedGraph g(n);
+    for (i64 i = 0; i < 3 * n; ++i) {
+      g.add_arc(static_cast<std::int32_t>(rng.uniform(0, n - 1)),
+                static_cast<std::int32_t>(rng.uniform(0, n - 1)), rng.uniform(0, 10),
+                Rational(rng.uniform(1, 8), rng.uniform(1, 4)));
+    }
+    const McrpResult r = solve_max_cycle_ratio(g);
+    ASSERT_EQ(r.status, McrpStatus::Optimal);
+    ASSERT_EQ(r.potentials.size(), static_cast<std::size_t>(n));
+    for (std::int32_t a = 0; a < g.arc_count(); ++a) {
+      const auto& arc = g.graph().arc(a);
+      const Rational lhs = r.potentials[static_cast<std::size_t>(arc.dst)] -
+                           r.potentials[static_cast<std::size_t>(arc.src)];
+      const Rational rhs = Rational{g.cost(a)} - r.ratio * g.time(a);
+      EXPECT_GE(lhs, rhs) << "arc " << a << " round " << round;
+    }
+  }
+}
+
+TEST(CycleRatio, CriticalCycleAchievesRatio) {
+  Rng rng(123);
+  for (int round = 0; round < 10; ++round) {
+    const auto n = static_cast<std::int32_t>(rng.uniform(3, 12));
+    BivaluedGraph g(n);
+    for (i64 i = 0; i < 2 * n; ++i) {
+      g.add_arc(static_cast<std::int32_t>(rng.uniform(0, n - 1)),
+                static_cast<std::int32_t>(rng.uniform(0, n - 1)), rng.uniform(1, 9),
+                Rational(rng.uniform(1, 9), 1));
+    }
+    const McrpResult r = solve_max_cycle_ratio(g);
+    ASSERT_EQ(r.status, McrpStatus::Optimal);
+    const Rational check =
+        Rational(i128{g.cycle_cost(r.critical_cycle)}, 1) / g.cycle_time(r.critical_cycle);
+    EXPECT_EQ(check, r.ratio);
+    // The cycle is an actual path: consecutive arcs share endpoints.
+    for (std::size_t i = 0; i < r.critical_cycle.size(); ++i) {
+      const auto& cur = g.graph().arc(r.critical_cycle[i]);
+      const auto& nxt = g.graph().arc(r.critical_cycle[(i + 1) % r.critical_cycle.size()]);
+      EXPECT_EQ(cur.dst, nxt.src);
+    }
+  }
+}
+
+TEST(CycleRatio, ExactModeMatchesAccelerated) {
+  Rng rng(321);
+  for (int round = 0; round < 10; ++round) {
+    const auto n = static_cast<std::int32_t>(rng.uniform(4, 14));
+    BivaluedGraph g(n);
+    for (i64 i = 0; i < 3 * n; ++i) {
+      g.add_arc(static_cast<std::int32_t>(rng.uniform(0, n - 1)),
+                static_cast<std::int32_t>(rng.uniform(0, n - 1)), rng.uniform(0, 20),
+                Rational(rng.uniform(1, 12), rng.uniform(1, 5)));
+    }
+    McrpOptions pure;
+    pure.accelerate_with_double = false;
+    const McrpResult fast = solve_max_cycle_ratio(g);
+    const McrpResult slow = solve_max_cycle_ratio(g, pure);
+    ASSERT_EQ(fast.status, slow.status);
+    EXPECT_EQ(fast.ratio, slow.ratio);
+  }
+}
+
+TEST(Howard, SelfLoop) {
+  const HowardResult r = howard_max_ratio(single_loop(6, Rational{2}));
+  ASSERT_EQ(r.status, HowardResult::Status::Optimal);
+  EXPECT_NEAR(r.ratio, 3.0, 1e-9);
+}
+
+TEST(Howard, NoCycle) {
+  BivaluedGraph g(2);
+  g.add_arc(0, 1, 1, Rational{1});
+  EXPECT_EQ(howard_max_ratio(g).status, HowardResult::Status::NoCycle);
+}
+
+TEST(Howard, InfeasibleCandidateReported) {
+  BivaluedGraph g(2);
+  g.add_arc(0, 1, 1, Rational{1});
+  g.add_arc(1, 0, 1, Rational{-1});
+  const HowardResult r = howard_max_ratio(g);
+  EXPECT_EQ(r.status, HowardResult::Status::InfeasibleCandidate);
+}
+
+TEST(Howard, AgreesWithExactOnRandomGraphs) {
+  Rng rng(777);
+  for (int round = 0; round < 20; ++round) {
+    const auto n = static_cast<std::int32_t>(rng.uniform(3, 20));
+    BivaluedGraph g(n);
+    for (i64 i = 0; i < 3 * n; ++i) {
+      g.add_arc(static_cast<std::int32_t>(rng.uniform(0, n - 1)),
+                static_cast<std::int32_t>(rng.uniform(0, n - 1)), rng.uniform(0, 15),
+                Rational(rng.uniform(1, 10), 1));
+    }
+    const McrpResult exact = solve_max_cycle_ratio(g);
+    const HowardResult howard = howard_max_ratio(g);
+    ASSERT_EQ(exact.status, McrpStatus::Optimal);
+    ASSERT_EQ(howard.status, HowardResult::Status::Optimal) << "round " << round;
+    EXPECT_NEAR(howard.ratio, exact.ratio.to_double(), 1e-6) << "round " << round;
+  }
+}
+
+TEST(Karp, SimpleCycleMean) {
+  Digraph g(3);
+  std::vector<i64> w;
+  g.add_arc(0, 1);
+  w.push_back(2);
+  g.add_arc(1, 2);
+  w.push_back(4);
+  g.add_arc(2, 0);
+  w.push_back(3);
+  const KarpResult r = karp_max_cycle_mean(g, w);
+  ASSERT_TRUE(r.has_cycle);
+  EXPECT_EQ(r.max_cycle_mean, Rational{3});  // (2+4+3)/3
+  EXPECT_EQ(r.cycle_arcs.size(), 3u);
+}
+
+TEST(Karp, PicksHeavierLoop) {
+  Digraph g(3);
+  std::vector<i64> w;
+  g.add_arc(0, 0);
+  w.push_back(5);
+  g.add_arc(1, 2);
+  w.push_back(9);
+  g.add_arc(2, 1);
+  w.push_back(2);
+  const KarpResult r = karp_max_cycle_mean(g, w);
+  ASSERT_TRUE(r.has_cycle);
+  EXPECT_EQ(r.max_cycle_mean, Rational::of(11, 2));
+}
+
+TEST(Karp, NoCycle) {
+  Digraph g(2);
+  std::vector<i64> w;
+  g.add_arc(0, 1);
+  w.push_back(1);
+  EXPECT_FALSE(karp_max_cycle_mean(g, w).has_cycle);
+}
+
+TEST(Karp, WeightArityChecked) {
+  Digraph g(2);
+  g.add_arc(0, 1);
+  EXPECT_THROW((void)karp_max_cycle_mean(g, {}), ModelError);
+}
+
+// Cross-check sweep: on unit-time graphs, cycle ratio == cycle mean, so
+// the exact solver, Howard and Karp must agree.
+class SolverAgreement : public ::testing::TestWithParam<u64> {};
+
+TEST_P(SolverAgreement, RatioEqualsMeanOnUnitTimeGraphs) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 15; ++round) {
+    const auto n = static_cast<std::int32_t>(rng.uniform(3, 25));
+    Digraph dg(n);
+    BivaluedGraph bg(n);
+    std::vector<i64> weights;
+    const i64 arcs = rng.uniform(n, 4 * n);
+    for (i64 i = 0; i < arcs; ++i) {
+      const auto s = static_cast<std::int32_t>(rng.uniform(0, n - 1));
+      const auto d = static_cast<std::int32_t>(rng.uniform(0, n - 1));
+      const i64 w = rng.uniform(0, 50);
+      dg.add_arc(s, d);
+      weights.push_back(w);
+      bg.add_arc(s, d, w, Rational{1});
+    }
+    const KarpResult karp = karp_max_cycle_mean(dg, weights);
+    const McrpResult exact = solve_max_cycle_ratio(bg);
+    if (!karp.has_cycle) {
+      EXPECT_EQ(exact.status, McrpStatus::NoCycle);
+      continue;
+    }
+    ASSERT_EQ(exact.status, McrpStatus::Optimal);
+    EXPECT_EQ(exact.ratio, karp.max_cycle_mean) << "round " << round;
+    // Karp's extracted circuit achieves its reported mean.
+    i64 wc = 0;
+    for (const auto a : karp.cycle_arcs) wc += weights[static_cast<std::size_t>(a)];
+    EXPECT_EQ(Rational(wc, static_cast<i128>(karp.cycle_arcs.size())), karp.max_cycle_mean);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverAgreement, ::testing::Values(41, 42, 43, 44, 45));
+
+}  // namespace
+}  // namespace kp

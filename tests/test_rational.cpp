@@ -1,0 +1,139 @@
+// Unit and property tests for exact rationals (util/rational.hpp).
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "util/error.hpp"
+#include "util/rational.hpp"
+#include "util/rng.hpp"
+
+namespace kp {
+namespace {
+
+TEST(Rational, DefaultIsZero) {
+  const Rational r;
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_EQ(r.den(), 1);
+  EXPECT_EQ(r.sign(), 0);
+}
+
+TEST(Rational, NormalizesOnConstruction) {
+  const Rational r(6, 8);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 4);
+}
+
+TEST(Rational, NormalizesSign) {
+  const Rational r(3, -4);
+  EXPECT_EQ(r.num(), -3);
+  EXPECT_EQ(r.den(), 4);
+  EXPECT_EQ(r.sign(), -1);
+}
+
+TEST(Rational, ZeroDenominatorThrows) { EXPECT_THROW(Rational(1, 0), ModelError); }
+
+TEST(Rational, Arithmetic) {
+  EXPECT_EQ(Rational::of(1, 2) + Rational::of(1, 3), Rational::of(5, 6));
+  EXPECT_EQ(Rational::of(1, 2) - Rational::of(1, 3), Rational::of(1, 6));
+  EXPECT_EQ(Rational::of(2, 3) * Rational::of(9, 4), Rational::of(3, 2));
+  EXPECT_EQ(Rational::of(2, 3) / Rational::of(4, 3), Rational::of(1, 2));
+}
+
+TEST(Rational, DivisionByZeroThrows) {
+  EXPECT_THROW((void)(Rational{1} / Rational{0}), ModelError);
+  EXPECT_THROW((void)Rational{0}.reciprocal(), ModelError);
+}
+
+TEST(Rational, Comparison) {
+  EXPECT_LT(Rational::of(1, 3), Rational::of(1, 2));
+  EXPECT_GT(Rational::of(-1, 3), Rational::of(-1, 2));
+  EXPECT_EQ(Rational::of(2, 4), Rational::of(1, 2));
+  EXPECT_LT(Rational::of(-1, 2), Rational{0});
+  EXPECT_LT(Rational{0}, Rational::of(1, 1000000));
+}
+
+TEST(Rational, ComparisonHugeNoOverflow) {
+  // Cross-multiplication of these would exceed 128 bits; the Euclidean
+  // comparison must still give the right answer.
+  const i128 big = checked_mul(i128{INT64_MAX}, i128{INT64_MAX / 3});
+  const Rational a(big, big - 1);
+  const Rational b(big - 1, big - 2);
+  EXPECT_LT(a, b);  // both slightly above 1; b is farther from 1
+  EXPECT_GT(b, a);
+  EXPECT_EQ(a, a);
+}
+
+TEST(Rational, FloorCeil) {
+  EXPECT_EQ(Rational::of(7, 2).floor(), 3);
+  EXPECT_EQ(Rational::of(7, 2).ceil(), 4);
+  EXPECT_EQ(Rational::of(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational::of(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rational::of(6, 2).floor(), 3);
+  EXPECT_EQ(Rational::of(6, 2).ceil(), 3);
+}
+
+TEST(Rational, ToString) {
+  EXPECT_EQ(Rational::of(1, 3).to_string(), "1/3");
+  EXPECT_EQ(Rational::of(-1, 3).to_string(), "-1/3");
+  EXPECT_EQ(Rational{7}.to_string(), "7");
+  EXPECT_EQ(Rational{0}.to_string(), "0");
+}
+
+TEST(Rational, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational::of(1, 4).to_double(), 0.25);
+  EXPECT_DOUBLE_EQ(Rational::of(-3, 2).to_double(), -1.5);
+}
+
+TEST(Rational, IsInteger) {
+  EXPECT_TRUE(Rational::of(8, 4).is_integer());
+  EXPECT_FALSE(Rational::of(9, 4).is_integer());
+}
+
+TEST(Rational, HashEqualValuesCollide) {
+  const std::hash<Rational> h;
+  EXPECT_EQ(h(Rational::of(2, 4)), h(Rational::of(1, 2)));
+  std::unordered_set<std::size_t> seen;
+  for (int i = 1; i <= 100; ++i) seen.insert(h(Rational::of(i, 101)));
+  EXPECT_GT(seen.size(), 90u);  // no mass collisions
+}
+
+TEST(Rational, MinMaxHelpers) {
+  const Rational a = Rational::of(1, 3);
+  const Rational b = Rational::of(1, 2);
+  EXPECT_EQ(rat_min(a, b), a);
+  EXPECT_EQ(rat_max(a, b), b);
+  EXPECT_EQ(rat_min(a, a), a);
+}
+
+TEST(Rational, OverflowInArithmeticThrows) {
+  const i128 big = i128{1} << 120;
+  const Rational a(big, 1);
+  EXPECT_THROW((void)(a * a), OverflowError);
+}
+
+// Property sweep: field axioms and order consistency on random rationals.
+class RationalProperty : public ::testing::TestWithParam<u64> {};
+
+TEST_P(RationalProperty, FieldAndOrderLaws) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const Rational a(rng.uniform(-1000, 1000), rng.uniform(1, 1000));
+    const Rational b(rng.uniform(-1000, 1000), rng.uniform(1, 1000));
+    const Rational c(rng.uniform(-1000, 1000), rng.uniform(1, 1000));
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a + b - b, a);
+    if (!b.is_zero()) EXPECT_EQ(a * b / b, a);
+    // Order consistency with double approximation (wide tolerance).
+    if (a < b) EXPECT_LT(a.to_double(), b.to_double() + 1e-9);
+    // floor/ceil bracket.
+    EXPECT_LE(Rational(a.floor(), 1), a);
+    EXPECT_GE(Rational(a.ceil(), 1), a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RationalProperty, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace kp

@@ -1,0 +1,160 @@
+// Tests for model transformations: serialization self-buffers, buffer
+// capacities (reverse arcs) and the §3.2 phase duplication.
+#include <gtest/gtest.h>
+
+#include "gen/paper_examples.hpp"
+#include "gen/random_csdf.hpp"
+#include "model/repetition.hpp"
+#include "model/transform.hpp"
+
+namespace kp {
+namespace {
+
+TEST(Serialize, AddsOneSelfBufferPerTask) {
+  const CsdfGraph g = figure2_graph();
+  const CsdfGraph s = add_serialization_buffers(g);
+  EXPECT_EQ(s.task_count(), g.task_count());
+  EXPECT_EQ(s.buffer_count(), g.buffer_count() + g.task_count());
+  for (TaskId t = 0; t < s.task_count(); ++t) {
+    int self = 0;
+    for (const BufferId b : s.out_buffers(t)) self += s.buffer(b).is_self_loop();
+    EXPECT_EQ(self, 1) << "task " << s.task(t).name;
+  }
+}
+
+TEST(Serialize, SelfBufferShape) {
+  const CsdfGraph s = add_serialization_buffers(figure2_graph());
+  const TaskId b = *s.find_task("B");
+  for (const BufferId id : s.out_buffers(b)) {
+    const Buffer& buf = s.buffer(id);
+    if (!buf.is_self_loop()) continue;
+    EXPECT_EQ(buf.prod, (std::vector<i64>{1, 1, 1}));
+    EXPECT_EQ(buf.cons, (std::vector<i64>{1, 1, 1}));
+    EXPECT_EQ(buf.initial_tokens, 1);
+  }
+}
+
+TEST(Serialize, Idempotent) {
+  const CsdfGraph once = add_serialization_buffers(figure2_graph());
+  const CsdfGraph twice = add_serialization_buffers(once);
+  EXPECT_EQ(twice.buffer_count(), once.buffer_count());
+}
+
+TEST(Serialize, PreservesConsistency) {
+  const CsdfGraph s = add_serialization_buffers(figure2_graph());
+  const RepetitionVector rv = compute_repetition_vector(s);
+  ASSERT_TRUE(rv.consistent);
+  EXPECT_EQ(rv.q, (std::vector<i64>{3, 4, 6, 1}));
+}
+
+TEST(Capacities, AddsReverseArcs) {
+  const CsdfGraph g = figure2_graph();
+  std::vector<i64> caps(static_cast<std::size_t>(g.buffer_count()), 100);
+  const CsdfGraph bounded = apply_buffer_capacities(g, caps);
+  EXPECT_EQ(bounded.buffer_count(), 2 * g.buffer_count());
+  // Reverse arc of "A->B" runs B->A with swapped rate vectors and
+  // marking cap - M0.
+  bool found = false;
+  for (const Buffer& b : bounded.buffers()) {
+    if (b.name != "space:A->B") continue;
+    found = true;
+    EXPECT_EQ(bounded.task(b.src).name, "B");
+    EXPECT_EQ(bounded.task(b.dst).name, "A");
+    EXPECT_EQ(b.prod, (std::vector<i64>{1, 1, 4}));
+    EXPECT_EQ(b.cons, (std::vector<i64>{3, 5}));
+    EXPECT_EQ(b.initial_tokens, 100);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Capacities, PreservesConsistency) {
+  const CsdfGraph g = figure2_graph();
+  const CsdfGraph bounded = apply_default_buffer_capacities(g);
+  const RepetitionVector rv = compute_repetition_vector(bounded);
+  ASSERT_TRUE(rv.consistent);
+  EXPECT_EQ(rv.q, (std::vector<i64>{3, 4, 6, 1}));
+}
+
+TEST(Capacities, NegativeMeansUnbounded) {
+  const CsdfGraph g = figure2_graph();
+  std::vector<i64> caps(static_cast<std::size_t>(g.buffer_count()), -1);
+  const CsdfGraph bounded = apply_buffer_capacities(g, caps);
+  EXPECT_EQ(bounded.buffer_count(), g.buffer_count());
+}
+
+TEST(Capacities, BelowMarkingThrows) {
+  const CsdfGraph g = figure2_graph();  // buffer "A->D" holds 13 tokens
+  std::vector<i64> caps(static_cast<std::size_t>(g.buffer_count()), 5);
+  EXPECT_THROW((void)apply_buffer_capacities(g, caps), ModelError);
+}
+
+TEST(Capacities, ArityChecked) {
+  EXPECT_THROW((void)apply_buffer_capacities(figure2_graph(), {1, 2}), ModelError);
+}
+
+TEST(Capacities, SelfLoopsNotReversed) {
+  CsdfGraph g;
+  const TaskId a = g.add_task("A", 1);
+  g.add_buffer("self", a, a, 1, 1, 1);
+  std::vector<i64> caps{10};
+  const CsdfGraph bounded = apply_buffer_capacities(g, caps);
+  EXPECT_EQ(bounded.buffer_count(), 1);
+}
+
+TEST(ExpandPhases, Figure2K2111) {
+  const CsdfGraph g = figure2_graph();
+  const CsdfGraph x = expand_phases(g, {2, 1, 1, 1});
+  EXPECT_EQ(x.phases(*x.find_task("A")), 4);
+  EXPECT_EQ(x.phases(*x.find_task("B")), 3);
+  const Buffer& ab = x.buffer(0);
+  EXPECT_EQ(ab.prod, (std::vector<i64>{3, 5, 3, 5}));     // [in]^2
+  EXPECT_EQ(ab.cons, (std::vector<i64>{1, 1, 4}));        // unchanged
+  EXPECT_EQ(ab.initial_tokens, 0);
+  EXPECT_EQ(x.task(*x.find_task("A")).durations, (std::vector<i64>{1, 1, 1, 1}));
+}
+
+TEST(ExpandPhases, RepetitionVectorDividesByK) {
+  // q̃_t = q_t · lcm(K)/K_t — for K = [2,1,1,1] on q = [3,4,6,1]:
+  // q̃ = [3, 8, 12, 2].
+  const CsdfGraph x = expand_phases(figure2_graph(), {2, 1, 1, 1});
+  const RepetitionVector rv = compute_repetition_vector(x);
+  ASSERT_TRUE(rv.consistent);
+  EXPECT_EQ(rv.q, (std::vector<i64>{3, 8, 12, 2}));
+}
+
+TEST(ExpandPhases, IdentityForUnitK) {
+  const CsdfGraph g = figure2_graph();
+  const CsdfGraph x = expand_phases(g, {1, 1, 1, 1});
+  EXPECT_EQ(x.total_phases(), g.total_phases());
+  EXPECT_EQ(compute_repetition_vector(x).q, compute_repetition_vector(g).q);
+}
+
+TEST(ExpandPhases, Validation) {
+  EXPECT_THROW((void)expand_phases(figure2_graph(), {1, 1}), ModelError);
+  EXPECT_THROW((void)expand_phases(figure2_graph(), {0, 1, 1, 1}), ModelError);
+}
+
+// Property sweep: phase expansion keeps graphs consistent and scales total
+// phases exactly.
+class ExpandProperty : public ::testing::TestWithParam<u64> {};
+
+TEST_P(ExpandProperty, ConsistencyPreserved) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 15; ++round) {
+    const CsdfGraph g = random_csdf(rng);
+    std::vector<i64> k(static_cast<std::size_t>(g.task_count()));
+    for (auto& v : k) v = rng.uniform(1, 4);
+    const CsdfGraph x = expand_phases(g, k);
+    i64 expected_phases = 0;
+    for (TaskId t = 0; t < g.task_count(); ++t) {
+      expected_phases += k[static_cast<std::size_t>(t)] * g.phases(t);
+    }
+    EXPECT_EQ(x.total_phases(), expected_phases);
+    EXPECT_TRUE(compute_repetition_vector(x).consistent);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExpandProperty, ::testing::Values(31, 32, 33));
+
+}  // namespace
+}  // namespace kp

@@ -1,0 +1,126 @@
+// Tests for the RNG, stopwatch formatting, hashing and table rendering.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace kp {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const i64 v = rng.uniform(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, UniformSingletonRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform(5, 5), 5);
+}
+
+TEST(Rng, UniformBadRangeThrows) {
+  Rng rng(7);
+  EXPECT_THROW((void)rng.uniform(3, 2), ModelError);
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng(11);
+  bool seen[5] = {};
+  for (int i = 0; i < 500; ++i) seen[rng.uniform(0, 4)] = true;
+  for (const bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Rng, PickAndShuffle) {
+  Rng rng(3);
+  const std::vector<int> v{10, 20, 30};
+  for (int i = 0; i < 20; ++i) {
+    const int p = rng.pick(v);
+    EXPECT_TRUE(p == 10 || p == 20 || p == 30);
+  }
+  std::vector<int> s{1, 2, 3, 4, 5, 6, 7, 8};
+  rng.shuffle(s);
+  std::vector<int> sorted = s;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8}));
+  EXPECT_THROW((void)rng.pick(std::vector<int>{}), ModelError);
+}
+
+TEST(Stopwatch, FormatDuration) {
+  EXPECT_EQ(format_duration_ms(0.5), "0.50ms");
+  EXPECT_EQ(format_duration_ms(999.0), "999.00ms");
+  EXPECT_EQ(format_duration_ms(1500.0), "1.50s");
+  EXPECT_EQ(format_duration_ms(120000.0), "2.0min");
+}
+
+TEST(Stopwatch, MeasuresSomething) {
+  Stopwatch w;
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x = x + i;
+  EXPECT_GE(w.elapsed_ms(), 0.0);
+  EXPECT_GE(w.elapsed_s(), 0.0);
+}
+
+TEST(Hash, SpanDistinguishes) {
+  const std::vector<i64> a{1, 2, 3};
+  const std::vector<i64> b{1, 2, 4};
+  const std::vector<i64> c{1, 2, 3};
+  EXPECT_NE(hash_span(a), hash_span(b));
+  EXPECT_EQ(hash_span(a), hash_span(c));
+  EXPECT_NE(hash_span({}), hash_span(a));
+}
+
+TEST(Hash, OrderSensitive) {
+  const std::vector<i64> a{1, 2};
+  const std::vector<i64> b{2, 1};
+  EXPECT_NE(hash_span(a), hash_span(b));
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.row({"x", "1"});
+  t.separator();
+  t.row({"longer-name", "23456"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("| longer-name "), std::string::npos);
+  EXPECT_NE(out.find("| 23456 "), std::string::npos);
+  // All lines are equally wide.
+  std::istringstream lines(out);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(Table, ArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.row({"only-one"}), ModelError);
+}
+
+}  // namespace
+}  // namespace kp
