@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Perf gate for the K-iteration hot path: runs bench_hotpath and fails if
+# constraint-graph build time regresses more than 20% against the committed
+# BENCH_hotpath.json baseline at any sweep scale. The gated metric is the
+# stride-vs-reference speedup measured within one run (both generators on
+# the same machine, same load), so the gate is machine-independent — a
+# slower CI box scales both numbers together.
+#
+# Usage: scripts/bench_check.sh [build-dir]   (default: ./build)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+baseline="$repo_root/BENCH_hotpath.json"
+bench_bin="$build_dir/bench_hotpath"
+
+if [[ ! -x "$bench_bin" ]]; then
+  echo "bench_check: $bench_bin not found — build first (cmake -B build && cmake --build build)" >&2
+  exit 2
+fi
+if [[ ! -f "$baseline" ]]; then
+  echo "bench_check: baseline $baseline missing — run '$bench_bin $baseline' and commit it" >&2
+  exit 2
+fi
+
+fresh="$(mktemp /tmp/bench_hotpath.XXXXXX.json)"
+trap 'rm -f "$fresh"' EXIT
+
+"$bench_bin" "$fresh"
+
+python3 - "$baseline" "$fresh" <<'EOF'
+import json
+import sys
+
+TOLERANCE = 1.20  # fail on >20% regression
+
+
+def speedup(case):
+    return case["build_reference_ms"] / max(case["build_stride_ms"], 1e-9)
+
+
+with open(sys.argv[1]) as f:
+    baseline = {c["g"]: c for c in json.load(f)["cases"]}
+with open(sys.argv[2]) as f:
+    fresh = {c["g"]: c for c in json.load(f)["cases"]}
+
+failures = []
+for g, base in sorted(baseline.items()):
+    cur = fresh.get(g)
+    if cur is None:
+        failures.append(f"g={g}: missing from fresh run")
+        continue
+    old, new = speedup(base), speedup(cur)
+    # Machine-relative: the stride build regressed if its advantage over the
+    # reference scan (measured in the same run) shrank by >20%.
+    ratio = old / new if new > 0 else float("inf")
+    marker = "FAIL" if ratio > TOLERANCE else "ok"
+    print(
+        f"g={g}: stride-vs-reference speedup {old:.1f}x -> {new:.1f}x "
+        f"(regression {ratio:.2f}x, stride {cur['build_stride_ms']:.4f} ms) {marker}"
+    )
+    if ratio > TOLERANCE:
+        failures.append(
+            f"g={g}: stride build advantage shrank {ratio:.2f}x (> {TOLERANCE:.2f}x)"
+        )
+
+if failures:
+    print("bench_check FAILED:", file=sys.stderr)
+    for f in failures:
+        print(f"  {f}", file=sys.stderr)
+    sys.exit(1)
+print("bench_check passed: constraint-graph build speedup within 20% of baseline")
+EOF

@@ -6,18 +6,100 @@
 
 namespace kp {
 
+namespace {
+
+/// a mod g in [0, g) for g > 0 (C++ % rounds toward zero).
+constexpr i128 pmod(i128 a, i128 g) noexcept {
+  const i128 r = a % g;
+  return r < 0 ? r + g : r;
+}
+
+/// Inverse of a modulo m (gcd(a, m) == 1, m >= 1, 0 <= a < m).
+i128 mod_inverse(i128 a, i128 m) {
+  i128 old_r = a, r = m;
+  i128 old_s = 1, s = 0;
+  while (r != 0) {
+    const i128 q = old_r / r;
+    i128 tmp = old_r - q * r;
+    old_r = r;
+    r = tmp;
+    tmp = old_s - q * s;
+    old_s = s;
+    s = tmp;
+  }
+  if (old_r != 1) throw SolverError("mod_inverse: arguments not coprime (invariant breach)");
+  return pmod(old_s, m);
+}
+
+/// Validates inputs and lays out the duplicated-phase nodes into `cg`,
+/// reusing its storage. Shared by the stride and reference generators.
+void init_constraint_nodes(const CsdfGraph& g, const RepetitionVector& rv,
+                           const std::vector<i64>& k, ConstraintGraph& cg) {
+  if (!rv.consistent) throw ModelError("constraint graph requires a consistent CSDFG");
+  if (static_cast<std::int32_t>(k.size()) != g.task_count()) {
+    throw ModelError("periodicity vector must have one entry per task");
+  }
+  for (const i64 kt : k) {
+    if (kt < 1) throw ModelError("periodicity factors must be >= 1");
+  }
+
+  cg.k.assign(k.begin(), k.end());
+
+  // Allocate one node per duplicated phase <t_p̃, 1>, p̃ in 1..K_t·φ(t).
+  i128 total_nodes = 0;
+  cg.task_first_node.resize(static_cast<std::size_t>(g.task_count()));
+  for (TaskId t = 0; t < g.task_count(); ++t) {
+    cg.task_first_node[static_cast<std::size_t>(t)] = static_cast<std::int32_t>(total_nodes);
+    total_nodes = checked_add(
+        total_nodes, checked_mul(i128{k[static_cast<std::size_t>(t)]}, i128{g.phases(t)}));
+    if (total_nodes > (i128{1} << 30)) {
+      throw SolverError("constraint graph too large (node count)");
+    }
+  }
+  const auto n = static_cast<std::int32_t>(total_nodes);
+  cg.node_task.resize(static_cast<std::size_t>(n));
+  cg.node_phase.resize(static_cast<std::size_t>(n));
+  cg.node_iter.resize(static_cast<std::size_t>(n));
+  cg.graph.reset(n);
+  for (TaskId t = 0; t < g.task_count(); ++t) {
+    const std::int32_t phi = g.phases(t);
+    std::int32_t node = cg.task_first_node[static_cast<std::size_t>(t)];
+    for (std::int32_t iter = 1; iter <= k[static_cast<std::size_t>(t)]; ++iter) {
+      for (std::int32_t p = 1; p <= phi; ++p, ++node) {
+        cg.node_task[static_cast<std::size_t>(node)] = t;
+        cg.node_phase[static_cast<std::size_t>(node)] = p;
+        cg.node_iter[static_cast<std::size_t>(node)] = iter;
+      }
+    }
+  }
+}
+
+}  // namespace
+
 std::vector<TaskId> ConstraintGraph::tasks_on_circuit(
     const std::vector<std::int32_t>& arc_ids) const {
+  std::vector<std::int8_t> seen;
   std::vector<TaskId> out;
+  tasks_on_circuit_into(arc_ids, seen, out);
+  return out;
+}
+
+void ConstraintGraph::tasks_on_circuit_into(std::span<const std::int32_t> arc_ids,
+                                            std::vector<std::int8_t>& seen,
+                                            std::vector<TaskId>& out) const {
+  seen.assign(task_first_node.size(), 0);
+  out.clear();
   auto add = [&](TaskId t) {
-    if (std::find(out.begin(), out.end(), t) == out.end()) out.push_back(t);
+    if (seen[static_cast<std::size_t>(t)] == 0) {
+      seen[static_cast<std::size_t>(t)] = 1;
+      out.push_back(t);
+    }
   };
   for (const std::int32_t a : arc_ids) {
     const auto& arc = graph.graph().arc(a);
     add(node_task[static_cast<std::size_t>(arc.src)]);
     add(node_task[static_cast<std::size_t>(arc.dst)]);
   }
-  return out;
 }
 
 std::string ConstraintGraph::describe_circuit(const CsdfGraph& g,
@@ -51,46 +133,153 @@ i128 constraint_pair_count(const CsdfGraph& g, const std::vector<i64>& k) {
   return pairs;
 }
 
-ConstraintGraph build_constraint_graph(const CsdfGraph& g, const RepetitionVector& rv,
-                                       const std::vector<i64>& k) {
-  if (!rv.consistent) throw ModelError("constraint graph requires a consistent CSDFG");
-  if (static_cast<std::int32_t>(k.size()) != g.task_count()) {
-    throw ModelError("periodicity vector must have one entry per task");
-  }
-  for (const i64 kt : k) {
-    if (kt < 1) throw ModelError("periodicity factors must be >= 1");
-  }
-
-  ConstraintGraph cg;
-  cg.k = k;
-
-  // Allocate one node per duplicated phase <t_p̃, 1>, p̃ in 1..K_t·φ(t).
-  i128 total_nodes = 0;
-  cg.task_first_node.resize(static_cast<std::size_t>(g.task_count()));
-  for (TaskId t = 0; t < g.task_count(); ++t) {
-    cg.task_first_node[static_cast<std::size_t>(t)] = static_cast<std::int32_t>(total_nodes);
-    total_nodes = checked_add(
-        total_nodes, checked_mul(i128{k[static_cast<std::size_t>(t)]}, i128{g.phases(t)}));
-    if (total_nodes > (i128{1} << 30)) {
-      throw SolverError("constraint graph too large (node count)");
-    }
-  }
-  const auto n = static_cast<std::int32_t>(total_nodes);
-  cg.node_task.resize(static_cast<std::size_t>(n));
-  cg.node_phase.resize(static_cast<std::size_t>(n));
-  cg.node_iter.resize(static_cast<std::size_t>(n));
-  cg.graph = BivaluedGraph(n);
-  for (TaskId t = 0; t < g.task_count(); ++t) {
-    const std::int32_t phi = g.phases(t);
-    std::int32_t node = cg.task_first_node[static_cast<std::size_t>(t)];
-    for (std::int32_t iter = 1; iter <= k[static_cast<std::size_t>(t)]; ++iter) {
-      for (std::int32_t p = 1; p <= phi; ++p, ++node) {
-        cg.node_task[static_cast<std::size_t>(node)] = t;
-        cg.node_phase[static_cast<std::size_t>(node)] = p;
-        cg.node_iter[static_cast<std::size_t>(node)] = iter;
+i128 constraint_work_estimate(const CsdfGraph& g, const std::vector<i64>& k) {
+  i128 work = 0;
+  for (const Buffer& b : g.buffers()) {
+    const i64 kt = k[static_cast<std::size_t>(b.src)];
+    const i64 kt2 = k[static_cast<std::size_t>(b.dst)];
+    const i128 gcd_dup = gcd128(checked_mul(i128{kt}, i128{b.total_prod}),
+                                checked_mul(i128{kt2}, i128{b.total_cons}));
+    const i128 o_mod = pmod(i128{b.total_cons}, gcd_dup);
+    const i128 d = gcd128(o_mod, gcd_dup);
+    for (const i64 in_p : b.prod) {
+      for (const i64 out_p2 : b.cons) {
+        const i64 m = std::min(in_p, out_p2);
+        i128 per_row = 1;  // the base scan visits every (row, consumer phase)
+        if (m > 0) {
+          if (o_mod == 0) {
+            // Constant residue per row: every consumer iteration may
+            // survive, and without per-row residues there is no tighter
+            // sound bound — price the worst case.
+            per_row += i128{kt2};
+          } else {
+            // At most A+1 valid residues t (t ≡ c mod d in a window of
+            // min(m,γ)), each hit by exactly B = kt2·d/γ iterations
+            // (γ/d divides kt2), so (A+1)·B bounds the surviving arcs.
+            const i128 a_cnt = std::min(i128{m}, gcd_dup) / d;
+            const i128 b_cnt = checked_mul(i128{kt2}, d) / gcd_dup;
+            per_row += std::min(i128{kt2},
+                                checked_add(checked_mul(a_cnt, b_cnt), b_cnt));
+          }
+        }
+        work = checked_add(work, checked_mul(i128{kt}, per_row));
       }
     }
   }
+  return work;
+}
+
+void build_constraint_graph_into(const CsdfGraph& g, const RepetitionVector& rv,
+                                 const std::vector<i64>& k, ConstraintGraph& cg) {
+  init_constraint_nodes(g, rv, k, cg);
+
+  // Per buffer, emit exactly the useful (p̃, p̃') pairs. With
+  // γ = gcd(ĩ_b, õ_b), Q̃ - 1 = cum_out(p̃') + A(p̃) and a pair is useful
+  // iff (Q̃ - 1) mod γ < m = min(ĩn(p̃), õut(p̃')); then
+  // β̃ = (Q̃ - 1) - ((Q̃ - 1) mod γ). For a fixed producer phase p̃ and a
+  // fixed *original* consumer phase p', cum_out over the K_t' duplicated
+  // copies is an arithmetic progression base + j·o_b (j = 0..K_t'-1), so
+  // the residues (j·o_b + base) mod γ cycle with stride structure: the
+  // valid j form arithmetic progressions of stride γ/gcd(o_b, γ), solved
+  // by one modular inverse per buffer.
+  for (BufferId bid = 0; bid < g.buffer_count(); ++bid) {
+    const Buffer& b = g.buffer(bid);
+    const TaskId t = b.src;
+    const TaskId t2 = b.dst;
+    const i64 kt = k[static_cast<std::size_t>(t)];
+    const i64 kt2 = k[static_cast<std::size_t>(t2)];
+    const std::int32_t phi = g.phases(t);
+    const std::int32_t phi2 = g.phases(t2);
+    const i128 i_dup = checked_mul(i128{kt}, i128{b.total_prod});    // ĩ_b
+    const i128 o_dup = checked_mul(i128{kt2}, i128{b.total_cons});   // õ_b
+    const i128 gcd_dup = gcd128(i_dup, o_dup);
+    // Denominator of H with the global lcm(K) factor folded out: q_t · i_b.
+    const i128 h_den = checked_mul(i128{rv.of(t)}, i128{b.total_prod});
+
+    // Residue structure of the consumer-iteration progression modulo γ.
+    const i128 o_mod = pmod(i128{b.total_cons}, gcd_dup);
+    const i128 d = gcd128(o_mod, gcd_dup);      // gcd(0, γ) == γ
+    const i128 j_stride = gcd_dup / d;          // solutions repeat every γ/d
+    // γ divides kt2·o_b, so γ/d divides kt2 — j_stride < 2^30 by the
+    // node-count guard and every (v/d)·inv product below fits easily.
+    const bool stride_usable = o_mod != 0;
+    const i128 inv =
+        stride_usable && j_stride > 1 ? mod_inverse((o_mod / d) % j_stride, j_stride) : 0;
+
+    const i64 rows = checked_mul(kt, i64{phi});
+    const std::int32_t first2 = cg.task_first_node[static_cast<std::size_t>(t2)];
+    for (i64 pt = 1; pt <= rows; ++pt) {
+      const auto p = static_cast<std::int32_t>((pt - 1) % phi) + 1;
+      const i128 cum_in = checked_add(
+          checked_mul(i128{(pt - 1) / phi}, i128{b.total_prod}),
+          i128{b.cum_prod[static_cast<std::size_t>(p)]});
+      const i64 in_p = b.prod[static_cast<std::size_t>(p - 1)];
+      const i64 dur = g.duration(t, p);
+      const std::int32_t src_node =
+          cg.task_first_node[static_cast<std::size_t>(t)] + static_cast<std::int32_t>(pt - 1);
+      // Q̃(p̃,p̃') - 1 = cum_out + A with A independent of p̃'.
+      const i128 a_off =
+          checked_sub(checked_sub(i128{in_p}, cum_in), checked_add(i128{b.initial_tokens}, 1));
+
+      for (std::int32_t p2 = 1; p2 <= phi2; ++p2) {
+        const i64 out_p2 = b.cons[static_cast<std::size_t>(p2 - 1)];
+        const i64 m = std::min(in_p, out_p2);
+        if (m <= 0) continue;  // min rate 0: α > β for every iteration
+        const i128 base = checked_add(i128{b.cum_cons[static_cast<std::size_t>(p2)]}, a_off);
+        const i128 c = pmod(base, gcd_dup);
+        if (o_mod == 0 && c >= i128{m}) continue;  // constant residue, always dead
+        const i128 t_window = std::min(i128{m}, gcd_dup);
+        const std::int32_t dst0 = first2 + (p2 - 1);
+
+        // Candidate residues t in [0, t_window) with t ≡ c (mod d); the
+        // dense walk beats solving them when kt2 is the smaller count.
+        if (!stride_usable || i128{kt2} <= t_window / d + 1) {
+          i128 q1 = base;   // Q̃ - 1 for iteration j
+          i128 res = c;     // q1 mod γ
+          for (i64 j = 0; j < kt2; ++j) {
+            if (res < i128{m}) {
+              cg.graph.add_arc(src_node, dst0 + static_cast<std::int32_t>(j) * phi2, dur,
+                               Rational(-(q1 - res), h_den));
+            }
+            q1 = checked_add(q1, i128{b.total_cons});
+            res += o_mod;
+            if (res >= gcd_dup) res -= gcd_dup;
+          }
+        } else {
+          for (i128 tt = c % d; tt < t_window; tt += d) {
+            // Solve j·(o_b mod γ) ≡ tt - c (mod γ): j ≡ (v/d)·inv (mod γ/d).
+            const i128 v = pmod(tt - c, gcd_dup);
+            const i128 j0 = ((v / d) % j_stride) * inv % j_stride;
+            for (i128 j = j0; j < i128{kt2}; j += j_stride) {
+              const i128 q1 = checked_add(base, checked_mul(j, i128{b.total_cons}));
+              cg.graph.add_arc(src_node, dst0 + static_cast<std::int32_t>(j) * phi2, dur,
+                               Rational(-(q1 - tt), h_den));
+            }
+          }
+        }
+      }
+    }
+  }
+  cg.graph.graph().finalize();
+}
+
+ConstraintGraph build_constraint_graph(const CsdfGraph& g, const RepetitionVector& rv,
+                                       const std::vector<i64>& k) {
+  ConstraintGraph cg;
+  build_constraint_graph_into(g, rv, k, cg);
+  return cg;
+}
+
+ConstraintGraph build_constraint_graph_reference(const CsdfGraph& g, const RepetitionVector& rv,
+                                                 const std::vector<i64>& k) {
+  ConstraintGraph cg;
+  build_constraint_graph_reference_into(g, rv, k, cg);
+  return cg;
+}
+
+void build_constraint_graph_reference_into(const CsdfGraph& g, const RepetitionVector& rv,
+                                           const std::vector<i64>& k, ConstraintGraph& cg) {
+  init_constraint_nodes(g, rv, k, cg);
 
   // One candidate constraint per (p̃, p̃') pair of each buffer.
   for (BufferId bid = 0; bid < g.buffer_count(); ++bid) {
@@ -104,7 +293,6 @@ ConstraintGraph build_constraint_graph(const CsdfGraph& g, const RepetitionVecto
     const i128 i_dup = checked_mul(i128{kt}, i128{b.total_prod});    // ĩ_b
     const i128 o_dup = checked_mul(i128{kt2}, i128{b.total_cons});   // õ_b
     const i128 gcd_dup = gcd128(i_dup, o_dup);
-    // Denominator of H with the global lcm(K) factor folded out: q_t · i_b.
     const i128 h_den = checked_mul(i128{rv.of(t)}, i128{b.total_prod});
 
     const i64 rows = checked_mul(kt, i64{phi});
@@ -139,7 +327,9 @@ ConstraintGraph build_constraint_graph(const CsdfGraph& g, const RepetitionVecto
       }
     }
   }
-  return cg;
+  // Same finalize as the stride generator, so head-to-head build timings
+  // (bench_hotpath) cover identical work including the CSR pass.
+  cg.graph.graph().finalize();
 }
 
 }  // namespace kp

@@ -19,9 +19,20 @@
 //
 // G̃ is never materialized: duplicated cumulative rates are evaluated
 // arithmetically from the original vectors.
+//
+// Enumeration strategy: a pair (p̃, p̃') is useful iff a multiple of
+// γ = gcd(ĩ_b, õ_b) falls in the window [Q̃-min(ĩn,õut), Q̃-1], i.e. iff
+// (Q̃-1) mod γ < min(ĩn_b(p̃), õut_b(p̃')). Instead of scanning all
+// rows × cols candidate pairs and discarding the dead ones, the generator
+// solves that congruence per (producer phase, consumer phase) pair and
+// steps directly through the surviving consumer iterations in γ-derived
+// strides — per-buffer cost O(rows · φ(t') + useful constraints) instead of
+// O(rows · cols). build_constraint_graph_reference keeps the brute-force
+// scan for equivalence testing; both produce the identical arc multiset.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -53,6 +64,11 @@ struct ConstraintGraph {
   [[nodiscard]] std::vector<TaskId> tasks_on_circuit(
       const std::vector<std::int32_t>& arc_ids) const;
 
+  /// Allocation-free (when warm) variant: `seen` is a per-task scratch flag
+  /// vector resized internally; distinct tasks are appended to `out`.
+  void tasks_on_circuit_into(std::span<const std::int32_t> arc_ids,
+                             std::vector<std::int8_t>& seen, std::vector<TaskId>& out) const;
+
   /// Human-readable "<A_2^1> -> <B_1^3>"-style rendering of a circuit.
   [[nodiscard]] std::string describe_circuit(const CsdfGraph& g,
                                              const std::vector<std::int32_t>& arc_ids) const;
@@ -64,8 +80,36 @@ struct ConstraintGraph {
                                                      const RepetitionVector& rv,
                                                      const std::vector<i64>& k);
 
-/// Number of (p̃, p̃') pairs the generator will enumerate for `k` — the
-/// cost estimate used to refuse absurdly large requests up front.
+/// Storage-reusing variant: rebuilds `out` in place, keeping the capacity of
+/// every internal vector. After a warming build, rebuilding a graph of no
+/// larger size performs zero heap allocations (the K-iteration hot path).
+void build_constraint_graph_into(const CsdfGraph& g, const RepetitionVector& rv,
+                                 const std::vector<i64>& k, ConstraintGraph& out);
+
+/// Brute-force O(rows·cols) reference generator (the pre-stride scan), kept
+/// for the equivalence tests and the bench_hotpath comparison. Produces the
+/// same arc multiset as build_constraint_graph.
+[[nodiscard]] ConstraintGraph build_constraint_graph_reference(const CsdfGraph& g,
+                                                               const RepetitionVector& rv,
+                                                               const std::vector<i64>& k);
+
+/// Storage-reusing variant of the reference generator, so benchmarks can
+/// time both generators on equal (warm, capacity-retained) footing.
+void build_constraint_graph_reference_into(const CsdfGraph& g, const RepetitionVector& rv,
+                                           const std::vector<i64>& k, ConstraintGraph& out);
+
+/// Number of (p̃, p̃') pairs the brute-force generator would enumerate for
+/// `k` — the candidate-space estimate used to refuse absurdly large
+/// requests up front.
 [[nodiscard]] i128 constraint_pair_count(const CsdfGraph& g, const std::vector<i64>& k);
+
+/// Upper bound (within a small constant) on the stride generator's work for
+/// `k`: the O(rows·φ(t')) base scan plus a per-(row, consumer-phase) bound
+/// on surviving constraints derived from the residue structure. On
+/// gcd-structured graphs this is orders of magnitude below
+/// constraint_pair_count — the resource guard takes the cheaper of the two
+/// so the stride path's reach is not capped by the retired brute-force cost
+/// model, while staying sound against congruence-aligned worst cases.
+[[nodiscard]] i128 constraint_work_estimate(const CsdfGraph& g, const std::vector<i64>& k);
 
 }  // namespace kp

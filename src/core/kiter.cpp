@@ -60,45 +60,75 @@ bool update_k(std::vector<i64>& k, const RepetitionVector& rv,
 }  // namespace
 
 KIterResult kiter_throughput(const CsdfGraph& g, const RepetitionVector& rv,
-                             const KIterOptions& options) {
+                             const KIterOptions& options, KIterWorkspace& ws) {
   if (!rv.consistent) throw ModelError("kiter: graph is not consistent: " + rv.failure_reason);
   KIterResult result;
   Stopwatch clock;
 
   std::vector<i64> k(static_cast<std::size_t>(g.task_count()), 1);
 
+  // Best achievable bound seen so far, for honest ResourceLimit reports.
+  // Its schedule is extracted once at exit, not every improving round.
+  std::vector<i64> best_k;
+  Rational best_period;
+
   auto out_of_budget = [&]() {
     return options.time_budget_ms >= 0.0 && clock.elapsed_ms() > options.time_budget_ms;
   };
 
-  for (int round = 0; round < options.max_rounds; ++round) {
-    // ---- resource guards ---------------------------------------------------
-    const i128 pairs = constraint_pair_count(g, k);
-    if (pairs > options.max_constraint_pairs || out_of_budget()) {
-      result.status = ThroughputStatus::ResourceLimit;
-      result.k = k;
-      result.rounds = round;
-      return result;
-    }
+  // Schedule extraction for the K the workspace currently holds: one
+  // potentials relaxation on the already-built, already-solved graph.
+  auto extract_schedule_warm = [&](const std::vector<i64>& for_k) {
+    compute_mcrp_potentials(ws.constraints.graph, ws.solved.ratio, ws.mcrp,
+                            ws.solved.potentials);
+    return schedule_from_potentials(g, rv, for_k, ws.constraints, ws.solved.potentials,
+                                    ws.solved.ratio);
+  };
 
-    // ---- evaluate this K ---------------------------------------------------
+  // Full re-evaluation for a K the workspace no longer holds (the
+  // best-bound K of a ResourceLimit exit) — costs one extra round.
+  auto extract_schedule = [&](const std::vector<i64>& for_k) {
     KEvalOptions eval_options;
     eval_options.mcrp = options.mcrp;
-    const KPeriodicResult eval = evaluate_k_periodic(g, rv, k, eval_options);
+    eval_options.want_schedule = true;
+    return evaluate_k_periodic(g, rv, for_k, eval_options).schedule;
+  };
+
+  auto finish_resource_limit = [&](int rounds_done) {
+    result.status = ThroughputStatus::ResourceLimit;
+    result.k = k;
+    result.rounds = rounds_done;
+    if (result.has_feasible_bound) result.schedule = extract_schedule(best_k);
+    return result;
+  };
+
+  for (int round = 0; round < options.max_rounds; ++round) {
+    // ---- resource guards ---------------------------------------------------
+    // Price the round at the cheaper of the two generators' cost models:
+    // the stride generator's work estimate is far below the brute-force
+    // pair count on gcd-structured graphs, and those rounds should run.
+    const i128 cost =
+        std::min(constraint_pair_count(g, k), constraint_work_estimate(g, k));
+    if (cost > options.max_constraint_pairs || out_of_budget()) {
+      return finish_resource_limit(round);
+    }
+
+    // ---- evaluate this K (allocation-free once the workspace is warm) ------
+    const KEvalStatus status = evaluate_k_periodic_round(g, rv, k, options.mcrp, ws);
     result.rounds = round + 1;
 
     if (options.record_trace) {
       KIterRound r;
       r.k = k;
-      r.feasible = eval.status != KEvalStatus::InfeasibleK;
-      r.period = eval.period;
-      r.constraint_nodes = eval.constraints.graph.node_count();
-      r.constraint_arcs = eval.constraints.graph.arc_count();
-      r.critical_tasks = eval.critical_tasks;
+      r.feasible = status != KEvalStatus::InfeasibleK;
+      if (status == KEvalStatus::Feasible) r.period = ws.solved.ratio;
+      r.constraint_nodes = ws.constraints.graph.node_count();
+      r.constraint_arcs = ws.constraints.graph.arc_count();
+      r.critical_tasks = ws.critical_tasks;
       result.trace.push_back(std::move(r));
     }
 
-    if (eval.status == KEvalStatus::Unbounded) {
+    if (status == KEvalStatus::Unbounded) {
       // Period 0 is feasible for this K, and K-periodic schedules are
       // realizable schedules, so the graph's throughput is unbounded;
       // larger K only enlarges the schedule class — conclusive.
@@ -106,22 +136,22 @@ KIterResult kiter_throughput(const CsdfGraph& g, const RepetitionVector& rv,
       result.period = Rational{0};
       result.throughput = Rational{0};
       result.k = k;
-      result.critical_tasks = eval.critical_tasks;
-      result.schedule = eval.schedule;
+      result.critical_tasks = ws.critical_tasks;
+      result.schedule = extract_schedule_warm(k);
       return result;
     }
 
     // ---- optimality test (Theorem 4, also applied to infeasibility and
     //      zero-ratio witnesses) --------------------------------------------
-    const OptimalityTest test = theorem4_test(rv, k, eval.critical_tasks);
-    if (options.record_trace) result.trace.back().optimality_passed = test.passed;
+    const bool passed = theorem4_passes(rv, k, ws.critical_tasks);
+    if (options.record_trace) result.trace.back().optimality_passed = passed;
 
-    if (test.passed) {
+    if (passed) {
       result.k = k;
-      result.critical_tasks = eval.critical_tasks;
+      result.critical_tasks = ws.critical_tasks;
       result.critical_description =
-          eval.constraints.describe_circuit(g, eval.critical_cycle);
-      if (eval.status == KEvalStatus::InfeasibleK) {
+          ws.constraints.describe_circuit(g, ws.solved.critical_cycle);
+      if (status == KEvalStatus::InfeasibleK) {
         // The circuit's induced subgraph cannot be scheduled even at the K
         // that is optimal for it: the graph deadlocks.
         result.status = ThroughputStatus::Deadlock;
@@ -129,31 +159,36 @@ KIterResult kiter_throughput(const CsdfGraph& g, const RepetitionVector& rv,
         result.throughput = Rational{0};
       } else {
         result.status = ThroughputStatus::Optimal;
-        result.period = eval.period;
-        result.throughput = eval.period.reciprocal();
+        result.period = ws.solved.ratio;
+        result.throughput = result.period.reciprocal();
         result.has_feasible_bound = true;
-        result.schedule = eval.schedule;
+        result.schedule = extract_schedule_warm(k);
       }
       return result;
     }
 
     // Keep the best achievable bound so far for honest ResourceLimit reports.
-    if (eval.status == KEvalStatus::Feasible &&
-        (!result.has_feasible_bound || eval.period < result.period)) {
+    if (status == KEvalStatus::Feasible &&
+        (!result.has_feasible_bound || ws.solved.ratio < best_period)) {
       result.has_feasible_bound = true;
-      result.period = eval.period;
-      result.throughput = eval.period.reciprocal();
-      result.schedule = eval.schedule;
+      best_period = ws.solved.ratio;
+      result.period = best_period;
+      result.throughput = best_period.reciprocal();
+      best_k.assign(k.begin(), k.end());
     }
 
-    if (!update_k(k, rv, eval.critical_tasks, options.policy)) {
+    if (!update_k(k, rv, ws.critical_tasks, options.policy)) {
       throw SolverError("kiter: failed optimality test but K did not grow (invariant breach)");
     }
   }
 
-  result.status = ThroughputStatus::ResourceLimit;
-  result.k = k;
-  return result;
+  return finish_resource_limit(result.rounds);
+}
+
+KIterResult kiter_throughput(const CsdfGraph& g, const RepetitionVector& rv,
+                             const KIterOptions& options) {
+  KIterWorkspace ws;
+  return kiter_throughput(g, rv, options, ws);
 }
 
 KIterResult kiter_throughput(const CsdfGraph& g, const KIterOptions& options) {

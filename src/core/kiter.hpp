@@ -12,6 +12,18 @@
 // Every K_t always divides q_t, so the iteration is finite and ends at
 // worst at K = q (the exact-but-exponential configuration the paper's
 // introduction describes).
+//
+// Hot-path workspace contract: the round loop runs entirely inside a
+// KIterWorkspace (see core/kperiodic.hpp) — the constraint graph (CSR
+// arrays included), the MCRP solver scratch, and the critical-circuit
+// buffers are rebuilt in place every round, so after the first (warming)
+// round a round of no larger size performs zero heap allocations. Rounds
+// therefore skip potentials/schedule extraction; the full schedule is
+// extracted once at exit by re-evaluating the winning (or best-bound) K.
+// Callers that analyze many graphs back to back should pass one external
+// workspace to the 4-argument overload and reuse it across calls — results
+// are identical to fresh-workspace runs. record_trace allocates per round
+// and is meant for diagnostics, not the hot path.
 #pragma once
 
 #include <string>
@@ -53,9 +65,13 @@ struct KIterOptions {
   McrpOptions mcrp{};
   KUpdatePolicy policy = KUpdatePolicy::PaperLcm;
 
-  /// Refuse to build a constraint graph with more candidate (p̃,p̃') pairs
-  /// than this (the graph2/graph3-style blowups); the run then returns
-  /// ResourceLimit with the best achievable bound so far.
+  /// Refuse to run a round whose estimated generation cost — the cheaper of
+  /// the candidate (p̃,p̃') pair count and the stride generator's work
+  /// estimate (see constraint_work_estimate) — exceeds this (the
+  /// graph2/graph3-style blowups); the run then returns ResourceLimit with
+  /// the best achievable bound so far. Note: a ResourceLimit exit with a
+  /// feasible bound re-evaluates the best K once to report its schedule,
+  /// so a time_budget_ms deadline can be overshot by about one round.
   i128 max_constraint_pairs = i128{200} * 1000 * 1000;
 
   /// Wall-clock budget; < 0 disables.
@@ -91,6 +107,12 @@ struct KIterResult {
 
 [[nodiscard]] KIterResult kiter_throughput(const CsdfGraph& g, const RepetitionVector& rv,
                                            const KIterOptions& options = {});
+
+/// Workspace-reusing variant for batch analysis: every round runs inside
+/// `ws` without allocating once warm (see the header comment). One
+/// workspace may serve any number of consecutive analyses.
+[[nodiscard]] KIterResult kiter_throughput(const CsdfGraph& g, const RepetitionVector& rv,
+                                           const KIterOptions& options, KIterWorkspace& ws);
 
 /// Convenience: computes the repetition vector internally (throws
 /// ModelError if the graph is inconsistent).

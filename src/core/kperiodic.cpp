@@ -2,6 +2,45 @@
 
 namespace kp {
 
+KEvalStatus evaluate_k_periodic_round(const CsdfGraph& g, const RepetitionVector& rv,
+                                      const std::vector<i64>& k, const McrpOptions& mcrp,
+                                      KIterWorkspace& ws) {
+  build_constraint_graph_into(g, rv, k, ws.constraints);
+  McrpOptions options = mcrp;
+  options.compute_potentials = false;
+  solve_max_cycle_ratio(ws.constraints.graph, options, ws.mcrp, ws.solved);
+  ws.constraints.tasks_on_circuit_into(ws.solved.critical_cycle, ws.task_seen,
+                                       ws.critical_tasks);
+  if (ws.solved.status == McrpStatus::Infeasible) return KEvalStatus::InfeasibleK;
+  return (ws.solved.status == McrpStatus::NoCycle || ws.solved.ratio.is_zero())
+             ? KEvalStatus::Unbounded
+             : KEvalStatus::Feasible;
+}
+
+KPeriodicSchedule schedule_from_potentials(const CsdfGraph& g, const RepetitionVector& rv,
+                                           const std::vector<i64>& k, const ConstraintGraph& cg,
+                                           const std::vector<Rational>& potentials,
+                                           const Rational& period) {
+  KPeriodicSchedule s;
+  s.k = k;
+  s.period = period;
+  s.starts.resize(static_cast<std::size_t>(g.task_count()));
+  s.task_periods.resize(static_cast<std::size_t>(g.task_count()));
+  for (TaskId t = 0; t < g.task_count(); ++t) {
+    const i64 kt = k[static_cast<std::size_t>(t)];
+    const std::int32_t phi = g.phases(t);
+    // µ_t = Ω · K_t / q_t (from Th_G = K_t / (q_t µ_t) = 1/Ω).
+    s.task_periods[static_cast<std::size_t>(t)] = period * Rational(i128{kt}, i128{rv.of(t)});
+    auto& st = s.starts[static_cast<std::size_t>(t)];
+    st.resize(static_cast<std::size_t>(kt * phi));
+    const std::int32_t base = cg.task_first_node[static_cast<std::size_t>(t)];
+    for (std::size_t idx = 0; idx < st.size(); ++idx) {
+      st[idx] = potentials[static_cast<std::size_t>(base) + idx];
+    }
+  }
+  return s;
+}
+
 KPeriodicResult evaluate_k_periodic(const CsdfGraph& g, const RepetitionVector& rv,
                                     const std::vector<i64>& k, const KEvalOptions& options) {
   KPeriodicResult result;
@@ -25,24 +64,8 @@ KPeriodicResult evaluate_k_periodic(const CsdfGraph& g, const RepetitionVector& 
                       : KEvalStatus::Feasible;
 
   if (options.want_schedule) {
-    KPeriodicSchedule& s = result.schedule;
-    s.k = k;
-    s.period = result.period;
-    s.starts.resize(static_cast<std::size_t>(g.task_count()));
-    s.task_periods.resize(static_cast<std::size_t>(g.task_count()));
-    for (TaskId t = 0; t < g.task_count(); ++t) {
-      const i64 kt = k[static_cast<std::size_t>(t)];
-      const std::int32_t phi = g.phases(t);
-      // µ_t = Ω · K_t / q_t (from Th_G = K_t / (q_t µ_t) = 1/Ω).
-      s.task_periods[static_cast<std::size_t>(t)] =
-          result.period * Rational(i128{kt}, i128{rv.of(t)});
-      auto& st = s.starts[static_cast<std::size_t>(t)];
-      st.resize(static_cast<std::size_t>(kt * phi));
-      const std::int32_t base = result.constraints.task_first_node[static_cast<std::size_t>(t)];
-      for (std::size_t idx = 0; idx < st.size(); ++idx) {
-        st[idx] = solved.potentials[static_cast<std::size_t>(base) + idx];
-      }
-    }
+    result.schedule =
+        schedule_from_potentials(g, rv, k, result.constraints, solved.potentials, result.period);
   }
   return result;
 }

@@ -84,6 +84,35 @@ struct KEvalOptions {
   bool want_schedule = true;
 };
 
+/// Reusable storage for the K-iteration hot path: the constraint graph, the
+/// MCRP solver scratch, the solved result, and the critical-task scratch are
+/// all rebuilt in place each round, so after the first (warming) round a
+/// round of no larger size performs zero heap allocations. One workspace
+/// serves any number of consecutive analyses (see kiter_throughput).
+struct KIterWorkspace {
+  ConstraintGraph constraints;
+  McrpScratch mcrp;
+  McrpResult solved;
+  std::vector<TaskId> critical_tasks;
+  std::vector<std::int8_t> task_seen;
+};
+
+/// One allocation-free (when warm) evaluation round: builds the constraint
+/// graph for `k` into ws.constraints, solves the MCRP into ws.solved
+/// (without potentials — schedule extraction is a separate, final-round
+/// concern), and refreshes ws.critical_tasks from the critical (or witness)
+/// circuit. The period for a Feasible round is ws.solved.ratio.
+KEvalStatus evaluate_k_periodic_round(const CsdfGraph& g, const RepetitionVector& rv,
+                                      const std::vector<i64>& k, const McrpOptions& mcrp,
+                                      KIterWorkspace& ws);
+
+/// Assembles the complete schedule from already-solved node potentials.
+/// Shared by evaluate_k_periodic and the K-iteration finale (which computes
+/// potentials on its warm workspace instead of re-solving from scratch).
+[[nodiscard]] KPeriodicSchedule schedule_from_potentials(
+    const CsdfGraph& g, const RepetitionVector& rv, const std::vector<i64>& k,
+    const ConstraintGraph& cg, const std::vector<Rational>& potentials, const Rational& period);
+
 [[nodiscard]] KPeriodicResult evaluate_k_periodic(const CsdfGraph& g, const RepetitionVector& rv,
                                                   const std::vector<i64>& k,
                                                   const KEvalOptions& options = {});

@@ -24,4 +24,15 @@ OptimalityTest theorem4_test(const RepetitionVector& rv, const std::vector<i64>&
   return test;
 }
 
+bool theorem4_passes(const RepetitionVector& rv, const std::vector<i64>& k,
+                     std::span<const TaskId> circuit_tasks) {
+  if (circuit_tasks.empty()) throw ModelError("theorem4_passes: empty circuit");
+  i64 g = 0;
+  for (const TaskId t : circuit_tasks) g = gcd64(g, rv.of(t));
+  for (const TaskId t : circuit_tasks) {
+    if (k[static_cast<std::size_t>(t)] % (rv.of(t) / g) != 0) return false;
+  }
+  return true;
+}
+
 }  // namespace kp

@@ -6,6 +6,7 @@
 // throughput of the graph (the subgraph induced by c already achieves it).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "model/csdf.hpp"
@@ -24,5 +25,10 @@ struct OptimalityTest {
 
 [[nodiscard]] OptimalityTest theorem4_test(const RepetitionVector& rv, const std::vector<i64>& k,
                                            const std::vector<TaskId>& circuit_tasks);
+
+/// Allocation-free pass/fail of the same test (the K-iteration round loop
+/// only needs the verdict; theorem4_test keeps the per-task diagnostics).
+[[nodiscard]] bool theorem4_passes(const RepetitionVector& rv, const std::vector<i64>& k,
+                                   std::span<const TaskId> circuit_tasks);
 
 }  // namespace kp

@@ -363,4 +363,17 @@ CsdfGraph with_buffer_capacities(const CsdfGraph& g, i64 factor) {
   return apply_buffer_capacities(g, caps);
 }
 
+CsdfGraph gcd_ring(i64 g) {
+  CsdfGraph out("gcd-ring-" + std::to_string(g));
+  const TaskId a = out.add_task("a", 3);
+  const TaskId b = out.add_task("b", 1);
+  const TaskId c = out.add_task("c", 2);
+  out.add_buffer("ab", a, b, g, 1, 0);
+  out.add_buffer("bc", b, c, 1, 1, 0);
+  out.add_buffer("ca", c, a, 1, g, g);
+  out.add_buffer("sb", b, b, 1, 1, 1);
+  out.add_buffer("sc", c, c, 1, 1, 1);
+  return out;
+}
+
 }  // namespace kp

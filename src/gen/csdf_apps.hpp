@@ -35,6 +35,15 @@ namespace kp {
 /// graph1..graph5, the synthetic rows of Table 2.
 [[nodiscard]] CsdfGraph synthetic_graph(int index);
 
+/// The gcd-structured ring the stride constraint enumeration targets
+/// (tests/test_hotpath.cpp and bench/bench_hotpath.cpp share this shape):
+/// the middle unit-rate buffer connects two tasks that each fire g times
+/// per iteration, so its duplicated pair space at K = q̄ = [1, g, g] is
+/// g × g while gcd(ĩ, õ) = g leaves only ~g useful constraints. Self-loops
+/// serialize the high-rate tasks (SDF3 practice) so the ring bounds the
+/// rate; the return buffer carries one iteration of slack.
+[[nodiscard]] CsdfGraph gcd_ring(i64 g);
+
 /// The five applications in Table-2 order.
 [[nodiscard]] std::vector<NamedGraph> make_csdf_applications();
 

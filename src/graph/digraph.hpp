@@ -1,14 +1,41 @@
 // Compact directed multigraph used by the analysis layers.
 //
 // Nodes and arcs are dense integer ids; payloads (weights, labels) live in
-// parallel vectors owned by the client. This keeps the MCRP solvers cache-
-// friendly on constraint graphs with hundreds of thousands of arcs.
+// parallel vectors owned by the client.
+//
+// Adjacency is stored in CSR (compressed sparse row) form: two flat arrays
+// per direction, `offsets` (node_count + 1 entries) and `arc_ids`
+// (arc_count entries), so out_arcs(v) is the contiguous span
+// arc_ids[offsets[v] .. offsets[v+1]). The CSR arrays are (re)built lazily
+// in one counting pass over the arc list the first time adjacency is
+// queried after a mutation; `finalize()` forces the build eagerly. Within a
+// node's span, arc ids appear in insertion order (the build iterates arcs
+// in id order), matching the old vector-of-vectors behaviour.
+//
+// Reuse contract: `reset(n)` rewinds the graph to n isolated nodes while
+// keeping every buffer's capacity, and the CSR rebuild only assigns into
+// those buffers — so a Digraph cycled through reset()/add_arc()/finalize()
+// with non-growing sizes performs zero heap allocations. This is what the
+// K-iteration hot path (core/kiter.hpp) relies on.
+//
+// The checked accessors (arc, out_arcs, in_arcs) throw ModelError on bad
+// ids; the *_unchecked variants assert in debug builds and are free in
+// release — use them only in solver inner loops over ids the caller already
+// validated. Lazy CSR building makes const adjacency queries non-reentrant:
+// do not query adjacency from multiple threads while the graph is dirty
+// (finalize() first). Unlike the old vector-of-vectors API, adjacency spans
+// point into the shared CSR arrays: any mutation (add_arc/add_node/reset)
+// followed by an adjacency query rebuilds those arrays and invalidates
+// every previously returned span — re-query instead of holding spans across
+// mutations.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "graph/csr.hpp"
 #include "util/error.hpp"
 
 namespace kp {
@@ -21,12 +48,18 @@ class Digraph {
   };
 
   Digraph() = default;
-  explicit Digraph(std::int32_t node_count) : out_(node_count), in_(node_count) {}
+  explicit Digraph(std::int32_t node_count) : nodes_(node_count) {}
+
+  /// Rewinds to `node_count` isolated nodes, keeping allocated capacity.
+  void reset(std::int32_t node_count) {
+    nodes_ = node_count;
+    arcs_.clear();
+    csr_valid_ = false;
+  }
 
   std::int32_t add_node() {
-    out_.emplace_back();
-    in_.emplace_back();
-    return static_cast<std::int32_t>(out_.size()) - 1;
+    csr_valid_ = false;
+    return nodes_++;
   }
 
   /// Adds an arc src -> dst and returns its id. Parallel arcs and self-loops
@@ -36,14 +69,11 @@ class Digraph {
     check_node(dst);
     const auto id = static_cast<std::int32_t>(arcs_.size());
     arcs_.push_back(Arc{src, dst});
-    out_[static_cast<std::size_t>(src)].push_back(id);
-    in_[static_cast<std::size_t>(dst)].push_back(id);
+    csr_valid_ = false;
     return id;
   }
 
-  [[nodiscard]] std::int32_t node_count() const noexcept {
-    return static_cast<std::int32_t>(out_.size());
-  }
+  [[nodiscard]] std::int32_t node_count() const noexcept { return nodes_; }
   [[nodiscard]] std::int32_t arc_count() const noexcept {
     return static_cast<std::int32_t>(arcs_.size());
   }
@@ -53,28 +83,71 @@ class Digraph {
     return arcs_[static_cast<std::size_t>(id)];
   }
 
-  [[nodiscard]] std::span<const Arc> arcs() const noexcept { return arcs_; }
-
-  /// Ids of arcs leaving `node`.
-  [[nodiscard]] const std::vector<std::int32_t>& out_arcs(std::int32_t node) const {
-    check_node(node);
-    return out_[static_cast<std::size_t>(node)];
+  /// Unchecked in release; assert in debug. For validated solver loops.
+  [[nodiscard]] const Arc& arc_unchecked(std::int32_t id) const noexcept {
+    assert(id >= 0 && id < arc_count());
+    return arcs_[static_cast<std::size_t>(id)];
   }
 
-  /// Ids of arcs entering `node`.
-  [[nodiscard]] const std::vector<std::int32_t>& in_arcs(std::int32_t node) const {
+  [[nodiscard]] std::span<const Arc> arcs() const noexcept { return arcs_; }
+
+  /// Builds the CSR adjacency now (idempotent). One counting pass; only
+  /// assigns into retained buffers, so warm rebuilds do not allocate.
+  void finalize() const {
+    if (!csr_valid_) build_csr();
+  }
+
+  /// Ids of arcs leaving `node`, in insertion order.
+  [[nodiscard]] std::span<const std::int32_t> out_arcs(std::int32_t node) const {
     check_node(node);
-    return in_[static_cast<std::size_t>(node)];
+    finalize();
+    return out_span(node);
+  }
+
+  /// Ids of arcs entering `node`, in insertion order.
+  [[nodiscard]] std::span<const std::int32_t> in_arcs(std::int32_t node) const {
+    check_node(node);
+    finalize();
+    return in_span(node);
+  }
+
+  /// Unchecked span accessors: require a prior finalize() and a valid node.
+  [[nodiscard]] std::span<const std::int32_t> out_span(std::int32_t node) const noexcept {
+    assert(csr_valid_ && node >= 0 && node < nodes_);
+    const auto v = static_cast<std::size_t>(node);
+    return {out_ids_.data() + out_offsets_[v],
+            static_cast<std::size_t>(out_offsets_[v + 1] - out_offsets_[v])};
+  }
+  [[nodiscard]] std::span<const std::int32_t> in_span(std::int32_t node) const noexcept {
+    assert(csr_valid_ && node >= 0 && node < nodes_);
+    const auto v = static_cast<std::size_t>(node);
+    return {in_ids_.data() + in_offsets_[v],
+            static_cast<std::size_t>(in_offsets_[v + 1] - in_offsets_[v])};
   }
 
  private:
   void check_node(std::int32_t n) const {
-    if (n < 0 || n >= node_count()) throw ModelError("Digraph: bad node id");
+    if (n < 0 || n >= nodes_) throw ModelError("Digraph: bad node id");
   }
 
+  void build_csr() const {
+    build_csr_index(nodes_, arcs_, [](const Arc& a) { return a.src; }, out_offsets_, out_ids_,
+                    cursor_);
+    build_csr_index(nodes_, arcs_, [](const Arc& a) { return a.dst; }, in_offsets_, in_ids_,
+                    cursor_);
+    csr_valid_ = true;
+  }
+
+  std::int32_t nodes_ = 0;
   std::vector<Arc> arcs_;
-  std::vector<std::vector<std::int32_t>> out_;
-  std::vector<std::vector<std::int32_t>> in_;
+
+  // Lazily rebuilt CSR adjacency (mutable: adjacency queries are const).
+  mutable bool csr_valid_ = false;
+  mutable std::vector<std::int32_t> out_offsets_;
+  mutable std::vector<std::int32_t> out_ids_;
+  mutable std::vector<std::int32_t> in_offsets_;
+  mutable std::vector<std::int32_t> in_ids_;
+  mutable std::vector<std::int32_t> cursor_;
 };
 
 }  // namespace kp

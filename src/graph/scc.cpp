@@ -13,41 +13,49 @@ std::vector<std::vector<std::int32_t>> SccResult::grouped() const {
 }
 
 SccResult strongly_connected_components(const Digraph& g) {
-  const std::int32_t n = g.node_count();
+  SccScratch scratch;
   SccResult result;
-  result.component_of.assign(static_cast<std::size_t>(n), -1);
+  strongly_connected_components(g, scratch, result);
+  return result;
+}
 
-  std::vector<std::int32_t> index(static_cast<std::size_t>(n), -1);
-  std::vector<std::int32_t> lowlink(static_cast<std::size_t>(n), 0);
-  std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
-  std::vector<std::int32_t> stack;
+void strongly_connected_components(const Digraph& g, SccScratch& scratch, SccResult& out) {
+  const std::int32_t n = g.node_count();
+  g.finalize();
+  out.component_count = 0;
+  out.component_of.assign(static_cast<std::size_t>(n), -1);
+
+  scratch.index.assign(static_cast<std::size_t>(n), -1);
+  scratch.lowlink.assign(static_cast<std::size_t>(n), 0);
+  scratch.on_stack.assign(static_cast<std::size_t>(n), 0);
+  scratch.stack.clear();
+  scratch.dfs.clear();
+  auto& index = scratch.index;
+  auto& lowlink = scratch.lowlink;
+  auto& on_stack = scratch.on_stack;
+  auto& stack = scratch.stack;
+  auto& dfs = scratch.dfs;
   std::int32_t next_index = 0;
-
-  // Explicit DFS frame: node + position in its out-arc list.
-  struct Frame {
-    std::int32_t node;
-    std::size_t arc_pos;
-  };
-  std::vector<Frame> dfs;
 
   for (std::int32_t root = 0; root < n; ++root) {
     if (index[static_cast<std::size_t>(root)] != -1) continue;
-    dfs.push_back(Frame{root, 0});
+    dfs.push_back(SccScratch::Frame{root, 0});
     index[static_cast<std::size_t>(root)] = lowlink[static_cast<std::size_t>(root)] = next_index++;
     stack.push_back(root);
-    on_stack[static_cast<std::size_t>(root)] = true;
+    on_stack[static_cast<std::size_t>(root)] = 1;
 
     while (!dfs.empty()) {
-      Frame& f = dfs.back();
-      const auto& outs = g.out_arcs(f.node);
-      if (f.arc_pos < outs.size()) {
-        const std::int32_t w = g.arc(outs[f.arc_pos++]).dst;
+      SccScratch::Frame& f = dfs.back();
+      const auto outs = g.out_span(f.node);
+      if (static_cast<std::size_t>(f.arc_pos) < outs.size()) {
+        const std::int32_t w =
+            g.arc_unchecked(outs[static_cast<std::size_t>(f.arc_pos++)]).dst;
         if (index[static_cast<std::size_t>(w)] == -1) {
           index[static_cast<std::size_t>(w)] = lowlink[static_cast<std::size_t>(w)] = next_index++;
           stack.push_back(w);
-          on_stack[static_cast<std::size_t>(w)] = true;
-          dfs.push_back(Frame{w, 0});
-        } else if (on_stack[static_cast<std::size_t>(w)]) {
+          on_stack[static_cast<std::size_t>(w)] = 1;
+          dfs.push_back(SccScratch::Frame{w, 0});
+        } else if (on_stack[static_cast<std::size_t>(w)] != 0) {
           lowlink[static_cast<std::size_t>(f.node)] = std::min(
               lowlink[static_cast<std::size_t>(f.node)], index[static_cast<std::size_t>(w)]);
         }
@@ -61,19 +69,18 @@ SccResult strongly_connected_components(const Digraph& g) {
                        lowlink[static_cast<std::size_t>(v)]);
         }
         if (lowlink[static_cast<std::size_t>(v)] == index[static_cast<std::size_t>(v)]) {
-          const std::int32_t comp = result.component_count++;
+          const std::int32_t comp = out.component_count++;
           for (;;) {
             const std::int32_t w = stack.back();
             stack.pop_back();
-            on_stack[static_cast<std::size_t>(w)] = false;
-            result.component_of[static_cast<std::size_t>(w)] = comp;
+            on_stack[static_cast<std::size_t>(w)] = 0;
+            out.component_of[static_cast<std::size_t>(w)] = comp;
             if (w == v) break;
           }
         }
       }
     }
   }
-  return result;
 }
 
 bool arc_in_cycle(const Digraph& g, const SccResult& scc, std::int32_t arc_id) {

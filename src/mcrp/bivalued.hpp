@@ -28,6 +28,14 @@ class BivaluedGraph {
   BivaluedGraph() = default;
   explicit BivaluedGraph(std::int32_t nodes) : g_(nodes) {}
 
+  /// Rewinds to `nodes` isolated nodes, keeping allocated capacity (see the
+  /// Digraph reuse contract).
+  void reset(std::int32_t nodes) {
+    g_.reset(nodes);
+    cost_.clear();
+    time_.clear();
+  }
+
   std::int32_t add_node() { return g_.add_node(); }
 
   std::int32_t add_arc(std::int32_t src, std::int32_t dst, i64 cost, Rational time) {
@@ -46,15 +54,19 @@ class BivaluedGraph {
     return time_.at(static_cast<std::size_t>(arc));
   }
 
+  /// Flat payload views for solver inner loops (index by arc id, unchecked).
+  [[nodiscard]] std::span<const i64> costs() const noexcept { return cost_; }
+  [[nodiscard]] std::span<const Rational> times() const noexcept { return time_; }
+
   /// Exact L(c) over a list of arc ids.
-  [[nodiscard]] i64 cycle_cost(const std::vector<std::int32_t>& arcs) const {
+  [[nodiscard]] i64 cycle_cost(std::span<const std::int32_t> arcs) const {
     i64 sum = 0;
     for (const auto a : arcs) sum = checked_add(sum, cost(a));
     return sum;
   }
 
   /// Exact H(c) over a list of arc ids.
-  [[nodiscard]] Rational cycle_time(const std::vector<std::int32_t>& arcs) const {
+  [[nodiscard]] Rational cycle_time(std::span<const std::int32_t> arcs) const {
     Rational sum;
     for (const auto a : arcs) sum += time(a);
     return sum;

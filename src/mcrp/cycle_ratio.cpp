@@ -2,121 +2,136 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 
+#include "graph/csr.hpp"
 #include "graph/scc.hpp"
-#include "mcrp/howard.hpp"
 #include "util/error.hpp"
 
 namespace kp {
 
 namespace {
 
-/// Arc of the cyclic core, with endpoints denormalized for tight loops.
-struct ArcRef {
-  std::int32_t id;   // arc id in the original graph
-  std::int32_t src;
-  std::int32_t dst;
+using ArcRef = McrpScratch::ArcRef;
+
+/// Fixed-capacity FIFO over a scratch vector. At most one entry per node is
+/// queued at a time (callers guard with a `queued` flag), so capacity
+/// node_count + 1 never overflows and the buffer is reused allocation-free.
+class RingQueue {
+ public:
+  RingQueue(std::vector<std::int32_t>& buf, std::int32_t capacity)
+      : buf_(buf), cap_(static_cast<std::size_t>(capacity) + 1) {
+    buf_.resize(cap_);
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return head_ == tail_; }
+
+  void push(std::int32_t v) noexcept {
+    buf_[tail_] = v;
+    tail_ = (tail_ + 1) % cap_;
+  }
+
+  std::int32_t pop() noexcept {
+    const std::int32_t v = buf_[head_];
+    head_ = (head_ + 1) % cap_;
+    return v;
+  }
+
+ private:
+  std::vector<std::int32_t>& buf_;
+  std::size_t cap_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
 };
 
 /// Finds any cycle in the parent-pointer graph (node -> src of its parent
-/// arc). Returns the cycle's arc ids in forward traversal order, or empty.
-std::vector<std::int32_t> parent_graph_cycle(std::int32_t n, const std::vector<ArcRef>& arcs,
-                                             const std::vector<std::int32_t>& parent) {
-  std::vector<std::int8_t> color(static_cast<std::size_t>(n), 0);  // 0 new, 1 active, 2 done
-  std::vector<std::int32_t> path;
-  for (std::int32_t s = 0; s < n; ++s) {
-    if (color[static_cast<std::size_t>(s)] != 0 || parent[static_cast<std::size_t>(s)] < 0) {
+/// arc). Writes the cycle's arc indices (into scratch.cyclic) in forward
+/// traversal order to scratch.cycle_local; returns false if acyclic.
+bool parent_graph_cycle(std::int32_t n, McrpScratch& s) {
+  s.color.assign(static_cast<std::size_t>(n), 0);  // 0 new, 1 active, 2 done
+  s.cycle_local.clear();
+  for (std::int32_t start = 0; start < n; ++start) {
+    if (s.color[static_cast<std::size_t>(start)] != 0 ||
+        s.parent[static_cast<std::size_t>(start)] < 0) {
       continue;
     }
-    path.clear();
-    std::int32_t v = s;
-    while (v >= 0 && color[static_cast<std::size_t>(v)] == 0) {
-      color[static_cast<std::size_t>(v)] = 1;
-      path.push_back(v);
-      const std::int32_t pa = parent[static_cast<std::size_t>(v)];
-      v = pa < 0 ? -1 : arcs[static_cast<std::size_t>(pa)].src;
+    s.path.clear();
+    std::int32_t v = start;
+    while (v >= 0 && s.color[static_cast<std::size_t>(v)] == 0) {
+      s.color[static_cast<std::size_t>(v)] = 1;
+      s.path.push_back(v);
+      const std::int32_t pa = s.parent[static_cast<std::size_t>(v)];
+      v = pa < 0 ? -1 : s.cyclic[static_cast<std::size_t>(pa)].src;
     }
-    if (v >= 0 && color[static_cast<std::size_t>(v)] == 1) {
+    if (v >= 0 && s.color[static_cast<std::size_t>(v)] == 1) {
       // Cycle: the suffix of `path` starting at v. The walk visits cycle
       // nodes in reverse traversal order, so collecting each node's parent
       // arc while iterating the path backwards (stopping at v, then adding
       // v's own parent arc) yields the forward arc order.
-      std::vector<std::int32_t> cycle;
-      for (auto rit = path.rbegin(); rit != path.rend() && *rit != v; ++rit) {
-        cycle.push_back(parent[static_cast<std::size_t>(*rit)]);
+      for (auto rit = s.path.rbegin(); rit != s.path.rend() && *rit != v; ++rit) {
+        s.cycle_local.push_back(s.parent[static_cast<std::size_t>(*rit)]);
       }
-      cycle.push_back(parent[static_cast<std::size_t>(v)]);
-      for (const std::int32_t u : path) color[static_cast<std::size_t>(u)] = 2;
-      return cycle;
+      s.cycle_local.push_back(s.parent[static_cast<std::size_t>(v)]);
+      for (const std::int32_t u : s.path) s.color[static_cast<std::size_t>(u)] = 2;
+      return true;
     }
-    for (const std::int32_t u : path) color[static_cast<std::size_t>(u)] = 2;
+    for (const std::int32_t u : s.path) s.color[static_cast<std::size_t>(u)] = 2;
   }
-  return {};
+  return false;
 }
 
-struct BfOutcome {
-  bool positive_cycle = false;
-  std::vector<std::int32_t> cycle;  // forward-order arc ids (original graph)
-};
-
-/// Queue-based (SPFA-style) longest-path relaxation with all-zero sources.
-/// Detects whether a positive-weight cycle exists and extracts one from the
-/// parent-pointer graph. Near-linear on the no-positive-cycle case that
-/// dominates the improvement loop, O(n·m) worst case like round-based
-/// Bellman–Ford.
-template <typename T, typename GreaterFn>
-BfOutcome bf_positive_cycle(std::int32_t n, const std::vector<ArcRef>& arcs,
-                            const std::vector<T>& w, GreaterFn greater) {
-  BfOutcome out;
-  std::vector<T> dist(static_cast<std::size_t>(n), T{});
-  std::vector<std::int32_t> parent(static_cast<std::size_t>(n), -1);
+/// Queue-based (SPFA-style) longest-path relaxation with all-zero sources
+/// over the cyclic core (scratch.cyclic + its CSR). Detects whether a
+/// positive-weight cycle exists under scratch.weights and extracts one into
+/// scratch.bf_cycle (original arc ids). Near-linear on the no-positive-cycle
+/// case that dominates the improvement loop, O(n·m) worst case like
+/// round-based Bellman–Ford.
+bool bf_positive_cycle(std::int32_t n, McrpScratch& s) {
+  s.dist.assign(static_cast<std::size_t>(n), Rational{});
+  s.parent.assign(static_cast<std::size_t>(n), -1);
   // Relaxation-path length per node: when it reaches n, the parent chain
   // holds n+1 nodes, hence a repeated node, hence a (positive) cycle.
-  std::vector<std::int32_t> len(static_cast<std::size_t>(n), 0);
-  std::vector<std::vector<std::int32_t>> out_arcs(static_cast<std::size_t>(n));
-  for (std::size_t i = 0; i < arcs.size(); ++i) {
-    out_arcs[static_cast<std::size_t>(arcs[i].src)].push_back(static_cast<std::int32_t>(i));
-  }
-  std::deque<std::int32_t> queue;
-  std::vector<char> queued(static_cast<std::size_t>(n), 0);
+  s.len.assign(static_cast<std::size_t>(n), 0);
+  s.queued.assign(static_cast<std::size_t>(n), 0);
+  s.bf_cycle.clear();
+  RingQueue queue(s.ring, n);
   for (std::int32_t v = 0; v < n; ++v) {
-    if (!out_arcs[static_cast<std::size_t>(v)].empty()) {
-      queue.push_back(v);
-      queued[static_cast<std::size_t>(v)] = 1;
+    if (s.out_offsets[static_cast<std::size_t>(v)] !=
+        s.out_offsets[static_cast<std::size_t>(v) + 1]) {
+      queue.push(v);
+      s.queued[static_cast<std::size_t>(v)] = 1;
     }
   }
 
   while (!queue.empty()) {
-    const std::int32_t u = queue.front();
-    queue.pop_front();
-    queued[static_cast<std::size_t>(u)] = 0;
-    for (const std::int32_t i : out_arcs[static_cast<std::size_t>(u)]) {
-      const ArcRef& a = arcs[static_cast<std::size_t>(i)];
-      T cand = dist[static_cast<std::size_t>(a.src)] + w[static_cast<std::size_t>(i)];
-      if (!greater(cand, dist[static_cast<std::size_t>(a.dst)])) continue;
-      dist[static_cast<std::size_t>(a.dst)] = std::move(cand);
-      parent[static_cast<std::size_t>(a.dst)] = i;
-      len[static_cast<std::size_t>(a.dst)] = len[static_cast<std::size_t>(a.src)] + 1;
-      if (len[static_cast<std::size_t>(a.dst)] >= n) {
-        std::vector<std::int32_t> cyc = parent_graph_cycle(n, arcs, parent);
-        if (cyc.empty()) {
+    const std::int32_t u = queue.pop();
+    s.queued[static_cast<std::size_t>(u)] = 0;
+    const auto lo = static_cast<std::size_t>(s.out_offsets[static_cast<std::size_t>(u)]);
+    const auto hi = static_cast<std::size_t>(s.out_offsets[static_cast<std::size_t>(u) + 1]);
+    for (std::size_t k = lo; k < hi; ++k) {
+      const std::int32_t i = s.out_ids[k];
+      const ArcRef& a = s.cyclic[static_cast<std::size_t>(i)];
+      Rational cand = s.dist[static_cast<std::size_t>(a.src)] + s.weights[static_cast<std::size_t>(i)];
+      if (!(cand > s.dist[static_cast<std::size_t>(a.dst)])) continue;
+      s.dist[static_cast<std::size_t>(a.dst)] = std::move(cand);
+      s.parent[static_cast<std::size_t>(a.dst)] = i;
+      s.len[static_cast<std::size_t>(a.dst)] = s.len[static_cast<std::size_t>(a.src)] + 1;
+      if (s.len[static_cast<std::size_t>(a.dst)] >= n) {
+        if (!parent_graph_cycle(n, s)) {
           throw SolverError("positive-cycle detection: parent graph acyclic (invariant breach)");
         }
-        out.positive_cycle = true;
-        out.cycle.reserve(cyc.size());
-        for (const std::int32_t local : cyc) {
-          out.cycle.push_back(arcs[static_cast<std::size_t>(local)].id);
+        s.bf_cycle.reserve(s.cycle_local.size());
+        for (const std::int32_t local : s.cycle_local) {
+          s.bf_cycle.push_back(s.cyclic[static_cast<std::size_t>(local)].id);
         }
-        return out;
+        return true;
       }
-      if (!queued[static_cast<std::size_t>(a.dst)]) {
-        queued[static_cast<std::size_t>(a.dst)] = 1;
-        queue.push_back(a.dst);
+      if (!s.queued[static_cast<std::size_t>(a.dst)]) {
+        s.queued[static_cast<std::size_t>(a.dst)] = 1;
+        queue.push(a.dst);
       }
     }
   }
-  return out;
+  return false;
 }
 
 /// True if the circuit makes the constraint system unsatisfiable for every
@@ -128,30 +143,57 @@ bool is_infeasible_circuit(i64 cost, const Rational& time) {
 }  // namespace
 
 McrpResult solve_max_cycle_ratio(const BivaluedGraph& bg, const McrpOptions& options) {
+  McrpScratch scratch;
   McrpResult result;
+  solve_max_cycle_ratio(bg, options, scratch, result);
+  return result;
+}
+
+void solve_max_cycle_ratio(const BivaluedGraph& bg, const McrpOptions& options,
+                           McrpScratch& scratch, McrpResult& out) {
+  out.status = McrpStatus::NoCycle;
+  out.ratio = Rational{0};
+  out.critical_cycle.clear();
+  out.potentials.clear();
+  out.iterations = 0;
+  out.exact_iterations = 0;
+
   const Digraph& g = bg.graph();
   const std::int32_t n = g.node_count();
+  g.finalize();
+  const std::span<const i64> costs = bg.costs();
+  const std::span<const Rational> times = bg.times();
 
   // Circuits live inside strongly connected components; restrict the cycle
   // search to arcs whose endpoints share an SCC.
-  const SccResult scc = strongly_connected_components(g);
-  std::vector<ArcRef> cyclic;
+  strongly_connected_components(g, scratch.scc, scratch.scc_result);
+  const SccResult& scc = scratch.scc_result;
+  auto& cyclic = scratch.cyclic;
+  cyclic.clear();
+  const std::span<const Digraph::Arc> all_arcs = g.arcs();
   for (std::int32_t a = 0; a < g.arc_count(); ++a) {
-    if (arc_in_cycle(g, scc, a)) {
-      cyclic.push_back(ArcRef{a, g.arc(a).src, g.arc(a).dst});
+    const auto& e = all_arcs[static_cast<std::size_t>(a)];
+    if (scc.component_of[static_cast<std::size_t>(e.src)] ==
+        scc.component_of[static_cast<std::size_t>(e.dst)]) {
+      cyclic.push_back(ArcRef{a, e.src, e.dst});
     }
   }
 
   Rational lambda{0};
-  std::vector<std::int32_t> critical;
+  auto& critical = scratch.critical;
+  critical.clear();
 
-  auto exact_cycle_ratio = [&](const std::vector<std::int32_t>& cycle, i64& cost_out,
+  auto exact_cycle_ratio = [&](std::span<const std::int32_t> cycle, i64& cost_out,
                                Rational& time_out) {
     cost_out = bg.cycle_cost(cycle);
     time_out = bg.cycle_time(cycle);
   };
 
   if (!cyclic.empty()) {
+    // CSR adjacency over the cyclic core, built once per solve.
+    build_csr_index(n, cyclic, [](const ArcRef& a) { return a.src; }, scratch.out_offsets,
+                    scratch.out_ids, scratch.cursor);
+
     // ---- accelerated phase: Howard warm start ------------------------------
     // Double-precision policy iteration usually lands on (or next to) the
     // critical circuit; its candidate's *exact* ratio seeds λ so the exact
@@ -159,25 +201,26 @@ McrpResult solve_max_cycle_ratio(const BivaluedGraph& bg, const McrpOptions& opt
     // any numeric trouble just falls through to the exact phase.
     if (options.accelerate_with_double) {
       try {
-        const HowardResult howard = howard_max_ratio(bg);
+        howard_max_ratio(bg, kHowardDefaultMaxIterations, scratch.howard, scratch.howard_result);
+        const HowardResult& howard = scratch.howard_result;
         if (!howard.cycle.empty()) {
           i64 lc = 0;
           Rational hc;
           exact_cycle_ratio(howard.cycle, lc, hc);
           if (is_infeasible_circuit(lc, hc)) {
-            result.status = McrpStatus::Infeasible;
-            result.critical_cycle = howard.cycle;
-            result.iterations = howard.iterations;
-            return result;
+            out.status = McrpStatus::Infeasible;
+            out.critical_cycle.assign(howard.cycle.begin(), howard.cycle.end());
+            out.iterations = howard.iterations;
+            return;
           }
           if (hc.sign() > 0) {
             Rational candidate = Rational(i128{lc}, 1) / hc;
             if (candidate > lambda) {
               lambda = std::move(candidate);
-              critical = howard.cycle;
+              critical.assign(howard.cycle.begin(), howard.cycle.end());
             }
           }
-          result.iterations += howard.iterations;
+          out.iterations += howard.iterations;
         }
       } catch (const SolverError&) {
         // fall through to the exact phase from λ = 0
@@ -185,23 +228,23 @@ McrpResult solve_max_cycle_ratio(const BivaluedGraph& bg, const McrpOptions& opt
     }
 
     // ---- exact phase: the result is determined here ------------------------
-    std::vector<Rational> we(cyclic.size());
+    auto& we = scratch.weights;
+    we.resize(cyclic.size());
     for (int iter = 0; iter < options.max_iterations; ++iter) {
       for (std::size_t i = 0; i < cyclic.size(); ++i) {
         const std::int32_t id = cyclic[i].id;
-        we[i] = Rational(i128{bg.cost(id)}, 1) - lambda * bg.time(id);
+        we[i] = Rational(i128{costs[static_cast<std::size_t>(id)]}, 1) -
+                lambda * times[static_cast<std::size_t>(id)];
       }
-      auto gt = [](const Rational& x, const Rational& y) { return x > y; };
-      auto bf = bf_positive_cycle<Rational, decltype(gt)>(n, cyclic, we, gt);
-      if (!bf.positive_cycle) break;
+      if (!bf_positive_cycle(n, scratch)) break;
       i64 lc = 0;
       Rational hc;
-      exact_cycle_ratio(bf.cycle, lc, hc);
+      exact_cycle_ratio(scratch.bf_cycle, lc, hc);
       if (is_infeasible_circuit(lc, hc)) {
-        result.status = McrpStatus::Infeasible;
-        result.critical_cycle = std::move(bf.cycle);
-        result.iterations += 1;
-        return result;
+        out.status = McrpStatus::Infeasible;
+        out.critical_cycle.assign(scratch.bf_cycle.begin(), scratch.bf_cycle.end());
+        out.iterations += 1;
+        return;
       }
       if (hc.sign() <= 0) {
         throw SolverError("exact BF produced a zero-cost zero-time 'positive' circuit");
@@ -211,9 +254,9 @@ McrpResult solve_max_cycle_ratio(const BivaluedGraph& bg, const McrpOptions& opt
         throw SolverError("cycle-ratio improvement made no progress (invariant breach)");
       }
       lambda = std::move(candidate);
-      critical = std::move(bf.cycle);
-      ++result.iterations;
-      ++result.exact_iterations;
+      critical.assign(scratch.bf_cycle.begin(), scratch.bf_cycle.end());
+      ++out.iterations;
+      ++out.exact_iterations;
     }
 
     // λ == 0 corner: all circuits have zero total cost. Circuits with
@@ -222,65 +265,73 @@ McrpResult solve_max_cycle_ratio(const BivaluedGraph& bg, const McrpOptions& opt
     // them with weights -H. Also try to surface a zero-ratio critical
     // circuit (weights +H) so callers can run the optimality test.
     if (lambda.is_zero()) {
-      std::vector<Rational> wh(cyclic.size());
-      auto gt = [](const Rational& x, const Rational& y) { return x > y; };
-      for (std::size_t i = 0; i < cyclic.size(); ++i) wh[i] = -bg.time(cyclic[i].id);
-      if (auto bf = bf_positive_cycle<Rational, decltype(gt)>(n, cyclic, wh, gt);
-          bf.positive_cycle) {
-        result.status = McrpStatus::Infeasible;
-        result.critical_cycle = std::move(bf.cycle);
-        return result;
+      for (std::size_t i = 0; i < cyclic.size(); ++i) {
+        we[i] = -times[static_cast<std::size_t>(cyclic[i].id)];
+      }
+      if (bf_positive_cycle(n, scratch)) {
+        out.status = McrpStatus::Infeasible;
+        out.critical_cycle.assign(scratch.bf_cycle.begin(), scratch.bf_cycle.end());
+        return;
       }
       if (critical.empty()) {
-        for (std::size_t i = 0; i < cyclic.size(); ++i) wh[i] = bg.time(cyclic[i].id);
-        if (auto bf = bf_positive_cycle<Rational, decltype(gt)>(n, cyclic, wh, gt);
-            bf.positive_cycle) {
-          critical = std::move(bf.cycle);
+        for (std::size_t i = 0; i < cyclic.size(); ++i) {
+          we[i] = times[static_cast<std::size_t>(cyclic[i].id)];
+        }
+        if (bf_positive_cycle(n, scratch)) {
+          critical.assign(scratch.bf_cycle.begin(), scratch.bf_cycle.end());
         }
       }
     }
   }
 
-  result.status = cyclic.empty() ? McrpStatus::NoCycle : McrpStatus::Optimal;
-  if (result.status == McrpStatus::Optimal && critical.empty() && !lambda.is_zero()) {
+  out.status = cyclic.empty() ? McrpStatus::NoCycle : McrpStatus::Optimal;
+  if (out.status == McrpStatus::Optimal && critical.empty() && !lambda.is_zero()) {
     throw SolverError("optimal ratio without critical circuit (invariant breach)");
   }
-  result.ratio = lambda;
-  result.critical_cycle = std::move(critical);
+  out.ratio = lambda;
+  out.critical_cycle.assign(critical.begin(), critical.end());
 
   // ---- potentials: valid start times at the optimum ------------------------
   if (options.compute_potentials) {
-    result.potentials.assign(static_cast<std::size_t>(n), Rational{0});
-    // Worklist longest-path relaxation over *all* arcs (converges: no
-    // positive circuit exists at λ).
-    std::vector<char> queued(static_cast<std::size_t>(n), 1);
-    std::deque<std::int32_t> queue;
-    for (std::int32_t v = 0; v < n; ++v) queue.push_back(v);
-    const i128 guard_limit =
-        checked_mul(i128{n} + 1, i128{g.arc_count()} + 1);
-    i128 guard = 0;
-    while (!queue.empty()) {
-      const std::int32_t u = queue.front();
-      queue.pop_front();
-      queued[static_cast<std::size_t>(u)] = 0;
-      for (const std::int32_t a : g.out_arcs(u)) {
-        if (++guard > guard_limit) {
-          throw SolverError("potential relaxation did not converge (invariant breach)");
-        }
-        const std::int32_t v = g.arc(a).dst;
-        Rational cand = result.potentials[static_cast<std::size_t>(u)] +
-                        Rational(i128{bg.cost(a)}, 1) - lambda * bg.time(a);
-        if (cand > result.potentials[static_cast<std::size_t>(v)]) {
-          result.potentials[static_cast<std::size_t>(v)] = std::move(cand);
-          if (!queued[static_cast<std::size_t>(v)]) {
-            queued[static_cast<std::size_t>(v)] = 1;
-            queue.push_back(v);
-          }
+    compute_mcrp_potentials(bg, lambda, scratch, out.potentials);
+  }
+}
+
+void compute_mcrp_potentials(const BivaluedGraph& bg, const Rational& lambda,
+                             McrpScratch& scratch, std::vector<Rational>& out) {
+  const Digraph& g = bg.graph();
+  const std::int32_t n = g.node_count();
+  g.finalize();
+  const std::span<const i64> costs = bg.costs();
+  const std::span<const Rational> times = bg.times();
+  out.assign(static_cast<std::size_t>(n), Rational{0});
+  // Worklist longest-path relaxation over *all* arcs (converges: no
+  // positive circuit exists at λ).
+  scratch.queued.assign(static_cast<std::size_t>(n), 1);
+  RingQueue queue(scratch.ring, n);
+  for (std::int32_t v = 0; v < n; ++v) queue.push(v);
+  const i128 guard_limit = checked_mul(i128{n} + 1, i128{g.arc_count()} + 1);
+  i128 guard = 0;
+  while (!queue.empty()) {
+    const std::int32_t u = queue.pop();
+    scratch.queued[static_cast<std::size_t>(u)] = 0;
+    for (const std::int32_t a : g.out_span(u)) {
+      if (++guard > guard_limit) {
+        throw SolverError("potential relaxation did not converge (invariant breach)");
+      }
+      const std::int32_t v = g.arc_unchecked(a).dst;
+      Rational cand = out[static_cast<std::size_t>(u)] +
+                      Rational(i128{costs[static_cast<std::size_t>(a)]}, 1) -
+                      lambda * times[static_cast<std::size_t>(a)];
+      if (cand > out[static_cast<std::size_t>(v)]) {
+        out[static_cast<std::size_t>(v)] = std::move(cand);
+        if (!scratch.queued[static_cast<std::size_t>(v)]) {
+          scratch.queued[static_cast<std::size_t>(v)] = 1;
+          queue.push(v);
         }
       }
     }
   }
-  return result;
 }
 
 }  // namespace kp

@@ -15,12 +15,19 @@
 // improvement with floating-point labels to skip most exact iterations;
 // the exact phase always has the last word, so the result is exact
 // regardless of floating-point behaviour.
+//
+// The scratch-based overload reuses every internal buffer (SCC state,
+// Howard state, relaxation labels, queues, cycle extraction) and the result
+// object's vectors: warm re-solves on graphs of no larger size perform zero
+// heap allocations. core/kiter.hpp threads one McrpScratch through all
+// rounds of the K-iteration.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "mcrp/bivalued.hpp"
+#include "mcrp/howard.hpp"
 
 namespace kp {
 
@@ -62,7 +69,56 @@ struct McrpOptions {
   int max_iterations = 1 << 20;
 };
 
+/// Reusable state for the scratch-based overload.
+struct McrpScratch {
+  /// Arc of the cyclic core, endpoints denormalized for tight loops.
+  struct ArcRef {
+    std::int32_t id;  // arc id in the original graph
+    std::int32_t src;
+    std::int32_t dst;
+  };
+
+  SccScratch scc;
+  SccResult scc_result;
+  HowardScratch howard;
+  HowardResult howard_result;
+
+  std::vector<ArcRef> cyclic;
+  std::vector<Rational> weights;
+
+  // CSR adjacency over the cyclic core (indices into `cyclic`).
+  std::vector<std::int32_t> out_offsets;
+  std::vector<std::int32_t> out_ids;
+  std::vector<std::int32_t> cursor;
+
+  // Bellman–Ford relaxation state.
+  std::vector<Rational> dist;
+  std::vector<std::int32_t> parent;
+  std::vector<std::int32_t> len;
+  std::vector<std::int32_t> ring;  // fixed-capacity ring buffer queue
+  std::vector<std::int8_t> queued;
+
+  // Cycle extraction.
+  std::vector<std::int8_t> color;
+  std::vector<std::int32_t> path;
+  std::vector<std::int32_t> cycle_local;
+  std::vector<std::int32_t> bf_cycle;
+  std::vector<std::int32_t> critical;
+};
+
 [[nodiscard]] McrpResult solve_max_cycle_ratio(const BivaluedGraph& g,
                                                const McrpOptions& options = {});
+
+/// Allocation-free (when warm) variant writing into `out`.
+void solve_max_cycle_ratio(const BivaluedGraph& g, const McrpOptions& options,
+                           McrpScratch& scratch, McrpResult& out);
+
+/// Just the potentials relaxation at a given λ (the pass solve_… performs
+/// when compute_potentials is set). Precondition: no circuit of `g` has
+/// positive weight under w_λ — i.e. λ is (at least) the max cycle ratio.
+/// Lets a caller that already solved without potentials extract start times
+/// later without re-running the improvement loop.
+void compute_mcrp_potentials(const BivaluedGraph& g, const Rational& lambda,
+                             McrpScratch& scratch, std::vector<Rational>& out);
 
 }  // namespace kp

@@ -4,35 +4,46 @@
 #include <cmath>
 #include <limits>
 
-#include "graph/scc.hpp"
+#include "graph/csr.hpp"
 #include "util/error.hpp"
 
 namespace kp {
 
-namespace {
-
-struct CoreArc {
-  std::int32_t id;   // original arc id
-  std::int32_t src;  // core-local node index
-  std::int32_t dst;
-  double cost;
-  double time;
-};
-
-}  // namespace
-
 HowardResult howard_max_ratio(const BivaluedGraph& bg, int max_iterations) {
+  HowardScratch scratch;
   HowardResult result;
+  howard_max_ratio(bg, max_iterations, scratch, result);
+  return result;
+}
+
+void howard_max_ratio(const BivaluedGraph& bg, int max_iterations, HowardScratch& scratch,
+                      HowardResult& out) {
+  using CoreArc = HowardScratch::CoreArc;
+  out.status = HowardResult::Status::NoCycle;
+  out.ratio = 0.0;
+  out.cycle.clear();
+  out.iterations = 0;
+
   const Digraph& g = bg.graph();
+  g.finalize();
 
   // Restrict to the cyclic core: arcs inside an SCC (self-loops included).
-  const SccResult scc = strongly_connected_components(g);
-  std::vector<std::int32_t> local(static_cast<std::size_t>(g.node_count()), -1);
+  strongly_connected_components(g, scratch.scc, scratch.scc_result);
+  const SccResult& scc = scratch.scc_result;
+  scratch.local.assign(static_cast<std::size_t>(g.node_count()), -1);
+  auto& local = scratch.local;
   std::int32_t n = 0;
-  std::vector<CoreArc> arcs;
+  auto& arcs = scratch.arcs;
+  arcs.clear();
+  const std::span<const i64> costs = bg.costs();
+  const std::span<const Rational> times = bg.times();
+  const std::span<const Digraph::Arc> all_arcs = g.arcs();
   for (std::int32_t a = 0; a < g.arc_count(); ++a) {
-    if (!arc_in_cycle(g, scc, a)) continue;
-    const auto& e = g.arc(a);
+    const auto& e = all_arcs[static_cast<std::size_t>(a)];
+    if (scc.component_of[static_cast<std::size_t>(e.src)] !=
+        scc.component_of[static_cast<std::size_t>(e.dst)]) {
+      continue;
+    }
     for (const std::int32_t endpoint : {e.src, e.dst}) {
       if (local[static_cast<std::size_t>(endpoint)] < 0) {
         local[static_cast<std::size_t>(endpoint)] = n++;
@@ -40,43 +51,59 @@ HowardResult howard_max_ratio(const BivaluedGraph& bg, int max_iterations) {
     }
     arcs.push_back(CoreArc{a, local[static_cast<std::size_t>(e.src)],
                            local[static_cast<std::size_t>(e.dst)],
-                           static_cast<double>(bg.cost(a)), bg.time(a).to_double()});
+                           static_cast<double>(costs[static_cast<std::size_t>(a)]),
+                           times[static_cast<std::size_t>(a)].to_double()});
   }
-  if (arcs.empty()) return result;
+  if (arcs.empty()) return;
 
-  // Out-arc lists in core-local indexing. Every core node has at least one
-  // out-arc inside its SCC by construction.
-  std::vector<std::vector<std::int32_t>> out(static_cast<std::size_t>(n));
-  for (std::size_t i = 0; i < arcs.size(); ++i) {
-    out[static_cast<std::size_t>(arcs[i].src)].push_back(static_cast<std::int32_t>(i));
-  }
+  // Out-arc lists in core-local indexing, CSR form. Every core node has at
+  // least one out-arc inside its SCC by construction.
+  build_csr_index(n, arcs, [](const CoreArc& a) { return a.src; }, scratch.out_offsets,
+                  scratch.out_ids, scratch.cursor);
 
-  std::vector<std::int32_t> policy(static_cast<std::size_t>(n));
+  auto& policy = scratch.policy;
+  policy.resize(static_cast<std::size_t>(n));
   for (std::int32_t v = 0; v < n; ++v) {
-    if (out[static_cast<std::size_t>(v)].empty()) {
+    if (scratch.out_offsets[static_cast<std::size_t>(v)] ==
+        scratch.out_offsets[static_cast<std::size_t>(v) + 1]) {
       throw SolverError("howard: core node without out-arc (invariant breach)");
     }
-    policy[static_cast<std::size_t>(v)] = out[static_cast<std::size_t>(v)].front();
+    policy[static_cast<std::size_t>(v)] =
+        scratch.out_ids[static_cast<std::size_t>(scratch.out_offsets[static_cast<std::size_t>(v)])];
   }
 
-  std::vector<double> lambda(static_cast<std::size_t>(n), 0.0);
-  std::vector<double> value(static_cast<std::size_t>(n), 0.0);
-  std::vector<std::int32_t> cycle_of(static_cast<std::size_t>(n), -1);
+  auto& lambda = scratch.lambda;
+  auto& value = scratch.value;
+  auto& cycle_of = scratch.cycle_of;
+  lambda.assign(static_cast<std::size_t>(n), 0.0);
+  value.assign(static_cast<std::size_t>(n), 0.0);
+  cycle_of.assign(static_cast<std::size_t>(n), -1);
+
+  auto& color = scratch.color;
+  auto& resolved = scratch.resolved;
+  auto& stack = scratch.stack;
+  auto& stack_pos = scratch.stack_pos;
+  auto& cyc_lambda = scratch.cyc_lambda;
+  auto& cyc_pool = scratch.cyc_pool;
+  auto& cyc_offsets = scratch.cyc_offsets;
+  stack_pos.resize(static_cast<std::size_t>(n));
 
   const double eps = 1e-10;
 
   for (int iter = 0; iter < max_iterations; ++iter) {
-    result.iterations = iter + 1;
+    out.iterations = iter + 1;
 
     // ---- policy evaluation -------------------------------------------------
     // Find the unique cycle reached from every node of the functional graph.
     std::fill(cycle_of.begin(), cycle_of.end(), -1);
-    std::vector<std::int8_t> color(static_cast<std::size_t>(n), 0);
-    std::vector<std::int32_t> stack;
+    color.assign(static_cast<std::size_t>(n), 0);
+    resolved.assign(static_cast<std::size_t>(n), 0);
+    stack.clear();
     std::int32_t cycle_count = 0;
-    std::vector<double> cyc_lambda;
-    std::vector<std::vector<std::int32_t>> cyc_arcs;
-    std::vector<std::int8_t> resolved(static_cast<std::size_t>(n), 0);
+    cyc_lambda.clear();
+    cyc_pool.clear();
+    cyc_offsets.clear();
+    cyc_offsets.push_back(0);
 
     for (std::int32_t s = 0; s < n; ++s) {
       if (color[static_cast<std::size_t>(s)] != 0) continue;
@@ -84,27 +111,30 @@ HowardResult howard_max_ratio(const BivaluedGraph& bg, int max_iterations) {
       std::int32_t v = s;
       while (color[static_cast<std::size_t>(v)] == 0) {
         color[static_cast<std::size_t>(v)] = 1;
+        stack_pos[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(stack.size());
         stack.push_back(v);
         v = arcs[static_cast<std::size_t>(policy[static_cast<std::size_t>(v)])].dst;
       }
       if (color[static_cast<std::size_t>(v)] == 1) {
         // New cycle discovered: nodes from v onwards in `stack`, in policy
-        // (forward) order.
+        // (forward) order. v's stack position was recorded when it was
+        // pushed, so the ring start needs no rescan.
         double sum_cost = 0.0;
         double sum_time = 0.0;
-        std::vector<std::int32_t> carcs;
-        const auto ring_begin = std::find(stack.begin(), stack.end(), v);
+        const std::size_t cyc_begin = cyc_pool.size();
+        const auto ring_begin = stack.begin() + stack_pos[static_cast<std::size_t>(v)];
         for (auto it = ring_begin; it != stack.end(); ++it) {
           const CoreArc& pa = arcs[static_cast<std::size_t>(policy[static_cast<std::size_t>(*it)])];
           sum_cost += pa.cost;
           sum_time += pa.time;
-          carcs.push_back(pa.id);
+          cyc_pool.push_back(pa.id);
           cycle_of[static_cast<std::size_t>(*it)] = cycle_count;
         }
         if (sum_time <= eps && sum_cost > eps) {
-          result.status = HowardResult::Status::InfeasibleCandidate;
-          result.cycle = std::move(carcs);
-          return result;
+          out.status = HowardResult::Status::InfeasibleCandidate;
+          out.cycle.assign(cyc_pool.begin() + static_cast<std::ptrdiff_t>(cyc_begin),
+                           cyc_pool.end());
+          return;
         }
         const double rho = sum_time <= eps ? -std::numeric_limits<double>::infinity()
                                            : sum_cost / sum_time;
@@ -122,7 +152,7 @@ HowardResult howard_max_ratio(const BivaluedGraph& bg, int max_iterations) {
           resolved[static_cast<std::size_t>(u)] = 1;
         }
         cyc_lambda.push_back(rho);
-        cyc_arcs.push_back(std::move(carcs));
+        cyc_offsets.push_back(static_cast<std::int32_t>(cyc_pool.size()));
         ++cycle_count;
       }
       for (const std::int32_t u : stack) color[static_cast<std::size_t>(u)] = 2;
@@ -180,11 +210,14 @@ HowardResult howard_max_ratio(const BivaluedGraph& bg, int max_iterations) {
           best_idx = c;
         }
       }
-      if (best_idx < 0) return result;  // no cycles (cannot happen: arcs non-empty)
-      result.status = HowardResult::Status::Optimal;
-      result.ratio = best;
-      result.cycle = cyc_arcs[static_cast<std::size_t>(best_idx)];
-      return result;
+      if (best_idx < 0) return;  // no cycles (cannot happen: arcs non-empty)
+      out.status = HowardResult::Status::Optimal;
+      out.ratio = best;
+      const auto lo = static_cast<std::ptrdiff_t>(cyc_offsets[static_cast<std::size_t>(best_idx)]);
+      const auto hi =
+          static_cast<std::ptrdiff_t>(cyc_offsets[static_cast<std::size_t>(best_idx) + 1]);
+      out.cycle.assign(cyc_pool.begin() + lo, cyc_pool.begin() + hi);
+      return;
     }
   }
   throw SolverError("howard: did not converge within iteration budget");

@@ -4,11 +4,16 @@
 // DAC'99) adapted to bi-valued graphs with mixed-sign H. It is used as an
 // ablation subject and as an optional warm-start; the library's exact
 // results never depend on it (cycle_ratio.hpp always has the last word).
+//
+// The scratch-based overload keeps every per-iteration buffer (policy,
+// values, cycle bookkeeping) alive across calls: warm re-solves on graphs
+// of no larger size perform zero heap allocations.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "graph/scc.hpp"
 #include "mcrp/bivalued.hpp"
 
 namespace kp {
@@ -26,6 +31,52 @@ struct HowardResult {
   int iterations = 0;
 };
 
-[[nodiscard]] HowardResult howard_max_ratio(const BivaluedGraph& g, int max_iterations = 10000);
+/// Reusable state for the scratch-based overload.
+struct HowardScratch {
+  struct CoreArc {
+    std::int32_t id;   // original arc id
+    std::int32_t src;  // core-local node index
+    std::int32_t dst;
+    double cost;
+    double time;
+  };
+
+  SccScratch scc;
+  SccResult scc_result;
+
+  std::vector<std::int32_t> local;  // original node -> core-local index
+  std::vector<CoreArc> arcs;
+
+  // Core CSR adjacency (indices into `arcs`).
+  std::vector<std::int32_t> out_offsets;
+  std::vector<std::int32_t> out_ids;
+  std::vector<std::int32_t> cursor;
+
+  std::vector<std::int32_t> policy;
+  std::vector<double> lambda;
+  std::vector<double> value;
+  std::vector<std::int32_t> cycle_of;
+  std::vector<std::int8_t> color;
+  std::vector<std::int8_t> resolved;
+  std::vector<std::int32_t> stack;
+  std::vector<std::int32_t> stack_pos;  // node -> its position in `stack`
+
+  // Per-iteration cycles, flattened: cycle c's arcs are
+  // cyc_pool[cyc_offsets[c] .. cyc_offsets[c+1]).
+  std::vector<double> cyc_lambda;
+  std::vector<std::int32_t> cyc_pool;
+  std::vector<std::int32_t> cyc_offsets;
+};
+
+/// Policy-iteration budget shared by the public default and the exact
+/// solver's warm start (cycle_ratio.cpp) — keep the two in sync.
+inline constexpr int kHowardDefaultMaxIterations = 10000;
+
+[[nodiscard]] HowardResult howard_max_ratio(const BivaluedGraph& g,
+                                            int max_iterations = kHowardDefaultMaxIterations);
+
+/// Allocation-free (when warm) variant writing into `out`.
+void howard_max_ratio(const BivaluedGraph& g, int max_iterations, HowardScratch& scratch,
+                      HowardResult& out);
 
 }  // namespace kp

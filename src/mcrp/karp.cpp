@@ -25,6 +25,7 @@ KarpResult karp_max_cycle_mean(const Digraph& g, const std::vector<i64>& weights
     throw ModelError("karp: need one weight per arc");
   }
   KarpResult result;
+  g.finalize();
   const SccResult scc = strongly_connected_components(g);
   const auto groups = scc.grouped();
 
@@ -36,8 +37,8 @@ KarpResult karp_max_cycle_mean(const Digraph& g, const std::vector<i64>& weights
     }
     std::vector<LocalArc> arcs;
     for (const std::int32_t v : nodes) {
-      for (const std::int32_t a : g.out_arcs(v)) {
-        const std::int32_t dst = g.arc(a).dst;
+      for (const std::int32_t a : g.out_span(v)) {
+        const std::int32_t dst = g.arc_unchecked(a).dst;
         if (scc.component_of[static_cast<std::size_t>(dst)] ==
             scc.component_of[static_cast<std::size_t>(v)]) {
           arcs.push_back(LocalArc{a, local[static_cast<std::size_t>(v)],

@@ -1,0 +1,225 @@
+// Hot-path guarantees of the K-iteration round loop:
+//
+//   1. The stride-based constraint enumeration produces exactly the same
+//      (src, dst, cost, time) arc multiset as the brute-force pair scan
+//      (build_constraint_graph_reference), on random CSDFGs and on the
+//      gcd-structured shapes the optimization targets.
+//   2. A KIterWorkspace reused across consecutive analyses yields results
+//      identical to fresh-workspace runs.
+//   3. A warm K-round (constraint-graph build + MCRP solve) performs zero
+//      heap allocations, verified by a global operator new counting hook.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <tuple>
+#include <vector>
+
+#include "core/constraints.hpp"
+#include "core/kiter.hpp"
+#include "core/kperiodic.hpp"
+#include "gen/csdf_apps.hpp"
+#include "gen/paper_examples.hpp"
+#include "gen/random_csdf.hpp"
+#include "model/repetition.hpp"
+
+// ---- allocation-counting hook ----------------------------------------------
+// Overriding the global allocation functions in this TU instruments the
+// whole test binary; the tests only compare the counter around the measured
+// calls, so gtest's own allocations do not interfere.
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t n) {
+  ++g_alloc_count;
+  if (void* p = std::malloc(n == 0 ? 1 : n)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_alloc(std::size_t n, std::align_val_t al) {
+  ++g_alloc_count;
+  void* p = nullptr;
+  if (posix_memalign(&p, std::max(static_cast<std::size_t>(al), sizeof(void*)),
+                     n == 0 ? 1 : n) == 0) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, std::align_val_t al) { return counted_alloc(n, al); }
+void* operator new[](std::size_t n, std::align_val_t al) { return counted_alloc(n, al); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace kp {
+namespace {
+
+using ArcTuple = std::tuple<std::int32_t, std::int32_t, i64, Rational>;
+
+std::vector<ArcTuple> canonical_arcs(const ConstraintGraph& cg) {
+  std::vector<ArcTuple> out;
+  out.reserve(static_cast<std::size_t>(cg.graph.arc_count()));
+  for (std::int32_t a = 0; a < cg.graph.arc_count(); ++a) {
+    const auto& arc = cg.graph.graph().arc(a);
+    out.emplace_back(arc.src, arc.dst, cg.graph.cost(a), cg.graph.time(a));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ---- 1. stride enumeration == brute-force scan -----------------------------
+
+TEST(StrideEnumeration, MatchesBruteForceOnRandomGraphs) {
+  int checked = 0;
+  for (u64 seed = 1; checked < 100; ++seed) {
+    Rng rng(seed);
+    RandomCsdfOptions options;
+    options.min_tasks = 2;
+    options.max_tasks = 6;
+    options.max_phases = 4;
+    options.max_q = 9;
+    const CsdfGraph g = random_csdf(rng, options);
+    const RepetitionVector rv = compute_repetition_vector(g);
+    ASSERT_TRUE(rv.consistent);
+
+    std::vector<i64> k(static_cast<std::size_t>(g.task_count()));
+    for (auto& v : k) v = rng.uniform(1, 7);
+
+    const ConstraintGraph stride = build_constraint_graph(g, rv, k);
+    const ConstraintGraph brute = build_constraint_graph_reference(g, rv, k);
+    ASSERT_EQ(stride.graph.node_count(), brute.graph.node_count()) << "seed " << seed;
+    ASSERT_EQ(canonical_arcs(stride), canonical_arcs(brute)) << "seed " << seed;
+    ++checked;
+  }
+}
+
+TEST(StrideEnumeration, MatchesBruteForceOnGcdStructuredShapes) {
+  for (const i64 g : {2, 7, 16, 64, 129}) {
+    const CsdfGraph graph = gcd_ring(g);
+    const RepetitionVector rv = compute_repetition_vector(graph);
+    ASSERT_TRUE(rv.consistent);
+    // K = q̄ along the whole ring: the worst duplicated pair space.
+    const std::vector<i64> k{1, g, g};
+    const ConstraintGraph stride = build_constraint_graph(graph, rv, k);
+    const ConstraintGraph brute = build_constraint_graph_reference(graph, rv, k);
+    EXPECT_EQ(canonical_arcs(stride), canonical_arcs(brute)) << "g = " << g;
+    // The middle buffer's pair space is g², yet only O(g) constraints
+    // survive in total: the whole point of the stride enumeration.
+    EXPECT_LE(stride.graph.arc_count(), 6 * g + 6) << "g = " << g;
+  }
+}
+
+TEST(StrideEnumeration, MatchesBruteForceWithLargeMarkings) {
+  // Large markings shift Q̃ far negative — exercises the signed floor/ceil
+  // and residue arithmetic.
+  Rng rng(7);
+  RandomCsdfOptions options;
+  options.min_tasks = 2;
+  options.max_tasks = 5;
+  options.max_phases = 3;
+  options.max_q = 6;
+  options.token_slack = 50;
+  for (int round = 0; round < 20; ++round) {
+    const CsdfGraph g = random_csdf(rng, options);
+    const RepetitionVector rv = compute_repetition_vector(g);
+    ASSERT_TRUE(rv.consistent);
+    std::vector<i64> k(static_cast<std::size_t>(g.task_count()));
+    for (auto& v : k) v = rng.uniform(1, 5);
+    EXPECT_EQ(canonical_arcs(build_constraint_graph(g, rv, k)),
+              canonical_arcs(build_constraint_graph_reference(g, rv, k)))
+        << "round " << round;
+  }
+}
+
+// ---- 2. workspace reuse ----------------------------------------------------
+
+TEST(Workspace, ConsecutiveAnalysesMatchFreshRuns) {
+  KIterWorkspace shared;
+  Rng rng(11);
+  RandomCsdfOptions options;
+  options.min_tasks = 2;
+  options.max_tasks = 8;
+  options.max_phases = 3;
+  options.max_q = 6;
+  for (int round = 0; round < 20; ++round) {
+    const CsdfGraph g = random_csdf(rng, options);
+    const RepetitionVector rv = compute_repetition_vector(g);
+    ASSERT_TRUE(rv.consistent);
+
+    const KIterResult with_shared = kiter_throughput(g, rv, KIterOptions{}, shared);
+    const KIterResult fresh = kiter_throughput(g, rv, KIterOptions{});
+    EXPECT_EQ(with_shared.status, fresh.status) << "round " << round;
+    EXPECT_EQ(with_shared.period, fresh.period) << "round " << round;
+    EXPECT_EQ(with_shared.throughput, fresh.throughput) << "round " << round;
+    EXPECT_EQ(with_shared.k, fresh.k) << "round " << round;
+    EXPECT_EQ(with_shared.rounds, fresh.rounds) << "round " << round;
+    EXPECT_EQ(with_shared.critical_tasks, fresh.critical_tasks) << "round " << round;
+  }
+}
+
+TEST(Workspace, TwoAnalysesThroughOneWorkspaceMatchPaperExample) {
+  // Back-to-back analyses of the same graph through one workspace must be
+  // bit-identical (the second one runs fully warm).
+  const CsdfGraph g = figure2_graph();
+  const RepetitionVector rv = compute_repetition_vector(g);
+  KIterWorkspace ws;
+  const KIterResult first = kiter_throughput(g, rv, KIterOptions{}, ws);
+  const KIterResult second = kiter_throughput(g, rv, KIterOptions{}, ws);
+  EXPECT_EQ(first.status, second.status);
+  EXPECT_EQ(first.period, second.period);
+  EXPECT_EQ(first.k, second.k);
+  EXPECT_EQ(first.rounds, second.rounds);
+  ASSERT_EQ(first.schedule.starts.size(), second.schedule.starts.size());
+  EXPECT_EQ(first.schedule.starts, second.schedule.starts);
+}
+
+// ---- 3. zero allocations per warm K-round ----------------------------------
+
+TEST(Workspace, WarmRoundDoesNotAllocate) {
+  const CsdfGraph g = gcd_ring(32);
+  const RepetitionVector rv = compute_repetition_vector(g);
+  ASSERT_TRUE(rv.consistent);
+  const std::vector<i64> k{1, 32, 32};
+  const McrpOptions mcrp;
+
+  KIterWorkspace ws;
+  // Two warming rounds grow every buffer to its steady-state capacity.
+  (void)evaluate_k_periodic_round(g, rv, k, mcrp, ws);
+  (void)evaluate_k_periodic_round(g, rv, k, mcrp, ws);
+
+  const std::uint64_t before = g_alloc_count.load();
+  const KEvalStatus status = evaluate_k_periodic_round(g, rv, k, mcrp, ws);
+  const std::uint64_t after = g_alloc_count.load();
+
+  EXPECT_EQ(status, KEvalStatus::Feasible);
+  EXPECT_EQ(after - before, 0u) << "a warm build+solve round must not touch the heap";
+}
+
+TEST(Workspace, WarmRoundDoesNotAllocateOnPaperExample) {
+  const CsdfGraph g = figure2_graph();
+  const RepetitionVector rv = compute_repetition_vector(g);
+  const std::vector<i64> k(static_cast<std::size_t>(g.task_count()), 2);
+  const McrpOptions mcrp;
+
+  KIterWorkspace ws;
+  (void)evaluate_k_periodic_round(g, rv, k, mcrp, ws);
+  (void)evaluate_k_periodic_round(g, rv, k, mcrp, ws);
+
+  const std::uint64_t before = g_alloc_count.load();
+  (void)evaluate_k_periodic_round(g, rv, k, mcrp, ws);
+  EXPECT_EQ(g_alloc_count.load() - before, 0u);
+}
+
+}  // namespace
+}  // namespace kp
