@@ -1,0 +1,168 @@
+// Batch-throughput benchmark: graphs/sec of ThroughputService::analyze_batch
+// versus worker-pool size on the random-CSDF generator suite.
+//
+// The serving scenario of the ROADMAP: a design-space explorer fires
+// hundreds of graph variants at the analysis service; each worker keeps one
+// KIterWorkspace warm across everything it serves, so per-analysis cost is
+// enumeration + solve, not allocation. The bench measures end-to-end batch
+// wall time per thread count (best of N repeats) and cross-checks that all
+// thread counts return bit-identical outcome/period/K sequences — the
+// determinism contract of analyze_batch.
+//
+//   bench_batch [--smoke] [--method NAME] [--graphs N] [json-path]
+//
+// --smoke shrinks the sweep for CI; --method picks the engine by name
+// (method_from_name: kiter | periodic | symbolic | expansion). Results go
+// to stdout and to BENCH_batch.json (scripts/bench_check.sh gates the
+// parallel efficiency, machine-relatively).
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/service.hpp"
+#include "gen/random_csdf.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace kp;
+
+struct CaseResult {
+  int threads = 0;
+  double total_ms = 0;
+  double graphs_per_sec = 0;
+  double speedup_vs_1 = 0;
+};
+
+std::string fmt(double v, const char* spec = "%.2f") {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, spec, v);
+  return buf;
+}
+
+/// The generator suite: random live CSDFGs sized so one analysis is
+/// comfortably sub-millisecond-to-milliseconds — the regime where batch
+/// overhead and workspace reuse, not one giant solve, dominate.
+std::vector<AnalysisRequest> make_requests(int count, Method method) {
+  Rng rng(424242);
+  RandomCsdfOptions gen;
+  gen.min_tasks = 3;
+  gen.max_tasks = 9;
+  gen.max_phases = 3;
+  gen.max_q = 6;
+  std::vector<AnalysisRequest> requests;
+  requests.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    AnalysisRequest req;
+    req.graph = random_csdf(rng, gen);
+    req.method = method;
+    requests.push_back(std::move(req));
+  }
+  return requests;
+}
+
+/// The determinism fingerprint of one batch: everything except timing and
+/// worker metadata.
+std::vector<std::string> fingerprint(const std::vector<Analysis>& results) {
+  std::vector<std::string> out;
+  out.reserve(results.size());
+  for (const Analysis& a : results) {
+    out.push_back(std::to_string(static_cast<int>(a.outcome)) + "|" + a.period.to_string() +
+                  "|" + a.throughput.to_string() + "|" + a.detail);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  Method method = Method::KIter;
+  int graphs = 240;
+  std::string json_path = "BENCH_batch.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--method" && i + 1 < argc) {
+      const auto parsed = method_from_name(argv[++i]);
+      if (!parsed) {
+        std::cerr << "unknown method '" << argv[i] << "' (kiter|periodic|symbolic|expansion)\n";
+        return 2;
+      }
+      method = *parsed;
+    } else if (arg == "--graphs" && i + 1 < argc) {
+      graphs = std::max(1, std::atoi(argv[++i]));
+    } else {
+      json_path = arg;
+    }
+  }
+  if (smoke) graphs = std::min(graphs, 60);
+  const int repeats = smoke ? 2 : 3;
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const std::vector<int> thread_counts{1, 2, 4, 8};
+
+  std::cout << "Batch throughput — " << graphs << " random CSDFGs, method "
+            << method_name(method) << ", " << hw << " hardware thread(s)\n\n";
+
+  const std::vector<AnalysisRequest> requests = make_requests(graphs, method);
+
+  std::vector<CaseResult> results;
+  std::vector<std::string> reference;  // fingerprint of the 1-thread run
+  bool deterministic = true;
+
+  Table table({"threads", "total (ms)", "graphs/sec", "speedup vs 1", "identical"});
+  for (const int threads : thread_counts) {
+    ThroughputService service(ServiceOptions{.threads = threads});
+    // Warm every worker's workspace once, then time best-of-N.
+    std::vector<Analysis> batch = service.analyze_batch(requests);
+    double best_ms = 1e300;
+    for (int r = 0; r < repeats; ++r) {
+      Stopwatch clock;
+      batch = service.analyze_batch(requests);
+      best_ms = std::min(best_ms, clock.elapsed_ms());
+    }
+
+    const std::vector<std::string> fp = fingerprint(batch);
+    if (reference.empty()) reference = fp;
+    const bool same = fp == reference;
+    deterministic = deterministic && same;
+
+    CaseResult cr;
+    cr.threads = threads;
+    cr.total_ms = best_ms;
+    cr.graphs_per_sec = graphs / (best_ms / 1000.0);
+    cr.speedup_vs_1 = results.empty() ? 1.0 : cr.graphs_per_sec / results[0].graphs_per_sec;
+    table.row({std::to_string(threads), fmt(cr.total_ms), fmt(cr.graphs_per_sec, "%.0f"),
+               fmt(cr.speedup_vs_1) + "x", same ? "yes" : "NO"});
+    results.push_back(cr);
+  }
+  table.print(std::cout);
+
+  std::ofstream json(json_path);
+  json << "{\n  \"schema\": 1,\n  \"sweep\": \"random-csdf\",\n  \"graphs\": " << graphs
+       << ",\n  \"method\": \"" << method_name(method)
+       << "\",\n  \"hardware_concurrency\": " << hw << ",\n  \"deterministic\": "
+       << (deterministic ? "true" : "false") << ",\n  \"cases\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CaseResult& cr = results[i];
+    json << "    {\"threads\": " << cr.threads << ", \"total_ms\": " << cr.total_ms
+         << ", \"graphs_per_sec\": " << cr.graphs_per_sec
+         << ", \"speedup_vs_1\": " << cr.speedup_vs_1 << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cout << "\nwrote " << json_path << "\n";
+
+  if (!deterministic) {
+    std::cerr << "FAIL: analyze_batch results differ across thread counts\n";
+    return 1;
+  }
+  return 0;
+}

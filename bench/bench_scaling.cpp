@@ -11,9 +11,16 @@
 // cases exist for which K-Iter is as slow as or even slower than other
 // optimal solutions"). Both exact methods degrade; honesty requires showing
 // it.
+//
+// Both methods of every scale go through one ThroughputService batch per
+// sweep. Default is one worker (the per-cell times are the point of the
+// curves); argv[1] opts into more. With multiple workers the wall-clock
+// budgets are under contention, so budget rows may shift — the solved
+// rows are deterministic.
+#include <cstdlib>
 #include <iostream>
 
-#include "api/analysis.hpp"
+#include "api/service.hpp"
 #include "model/stats.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
@@ -58,14 +65,27 @@ std::string outcome_cell(const Analysis& a) {
   }
 }
 
-int run_sweep(const char* title, const std::vector<i64>& scales,
+int run_sweep(ThroughputService& service, const char* title, const std::vector<i64>& scales,
               CsdfGraph (*make)(i64), const AnalysisOptions& options) {
-  Table table({"scale", "sum(q)", "tokens on ring", "K-Iter", "symbolic [16]"});
+  // Two requests per scale, one batch for the whole sweep.
+  std::vector<AnalysisRequest> requests;
+  requests.reserve(scales.size() * 2);
   for (const i64 s : scales) {
     const CsdfGraph g = make(s);
+    requests.push_back(AnalysisRequest{.graph = g, .method = Method::KIter,
+                                       .options = options});
+    requests.push_back(AnalysisRequest{.graph = g, .method = Method::SymbolicExecution,
+                                       .options = options});
+  }
+  const std::vector<Analysis> results = service.analyze_batch(requests);
+
+  Table table({"scale", "sum(q)", "tokens on ring", "K-Iter", "symbolic [16]"});
+  for (std::size_t i = 0; i < scales.size(); ++i) {
+    const i64 s = scales[i];
+    const CsdfGraph& g = requests[i * 2].graph;
     const GraphStats stats = graph_stats(g);
-    const Analysis kiter = analyze_throughput(g, Method::KIter, options);
-    const Analysis symbolic = analyze_throughput(g, Method::SymbolicExecution, options);
+    const Analysis& kiter = results[i * 2];
+    const Analysis& symbolic = results[i * 2 + 1];
     if (kiter.outcome == Outcome::Value && symbolic.outcome == Outcome::Value &&
         kiter.quality == Quality::Exact && symbolic.quality == Quality::Exact &&
         kiter.period != symbolic.period) {
@@ -85,19 +105,24 @@ int run_sweep(const char* title, const std::vector<i64>& scales,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   AnalysisOptions options;
   options.kiter.max_constraint_pairs = i128{30} * 1000 * 1000;
   options.kiter.time_budget_ms = 20000;
   options.sim.max_states = 300000;
   options.sim.time_budget_ms = 10000;
 
+  ServiceOptions service_options;
+  service_options.threads = argc > 1 ? std::atoi(argv[1]) : 1;
+  ThroughputService service(service_options);
+
   int rc = run_sweep(
+      service,
       "Sweep A — growing backlog, fixed rates 2:3 (K-Iter constant, symbolic pays the transient)",
       {1, 10, 100, 1000, 10000, 100000, 1000000}, backlog_ring, options);
   if (rc != 0) return rc;
   rc = run_sweep(
-      "Sweep B — coprime rates s:s+1 (the paper's own worst case for K-Iter)",
+      service, "Sweep B — coprime rates s:s+1 (the paper's own worst case for K-Iter)",
       {3, 10, 30, 100, 300, 1000, 3000}, coprime_ring, options);
   if (rc != 0) return rc;
   std::cout << "Sweep A is the industrial structure (Table 2): K-Iter's cost depends on q̄\n"

@@ -1,11 +1,16 @@
-// Quickstart: build a CSDF graph with the public API, compute its exact
-// throughput with K-Iter, compare against the baselines, and print the
-// schedule.
+// Quickstart: build a CSDF graph, analyze it through the ThroughputService
+// batch API (all methods in one request batch), then drill into the K-Iter
+// iteration and print the optimal schedule.
 //
-//   $ ./examples/quickstart
+//   $ ./examples/quickstart [method ...]
+//
+// With no arguments the three CSDF-capable methods run; otherwise each
+// argument is parsed with method_from_name (kiter | periodic | symbolic |
+// expansion).
 #include <iostream>
+#include <vector>
 
-#include "api/analysis.hpp"
+#include "api/service.hpp"
 #include "core/kiter.hpp"
 #include "gen/paper_examples.hpp"
 #include "io/gantt.hpp"
@@ -13,7 +18,7 @@
 #include "model/transform.hpp"
 #include "util/stopwatch.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace kp;
 
   // ---- 1. Build a graph ----------------------------------------------------
@@ -29,10 +34,44 @@ int main() {
   }
   std::cout << "]\n\n";
 
-  // ---- 2. One-call analysis --------------------------------------------------
-  for (const Method method : {Method::KIter, Method::Periodic, Method::SymbolicExecution}) {
-    const Analysis a = analyze_throughput(g, method);
-    std::cout << method_name(method) << ": ";
+  // ---- 2. Method selection from argv ---------------------------------------
+  std::vector<Method> methods;
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) {
+      const auto parsed = method_from_name(argv[i]);
+      if (!parsed) {
+        std::cerr << "unknown method '" << argv[i]
+                  << "' (kiter | periodic | symbolic | expansion)\n";
+        return 1;
+      }
+      methods.push_back(*parsed);
+    }
+  } else {
+    methods = {Method::KIter, Method::Periodic, Method::SymbolicExecution};
+  }
+
+  // ---- 3. Batch analysis through the service -------------------------------
+  // One request per method; the pool (one worker per hardware thread by
+  // default) serves them in parallel, each worker reusing its workspace.
+  // For thousands of graph variants this same call is the serving path —
+  // see bench/bench_batch.cpp; requests can also carry a deadline_ms and a
+  // CancelToken.
+  std::vector<AnalysisRequest> requests;
+  for (const Method method : methods) {
+    requests.push_back(AnalysisRequest{.graph = g, .method = method});
+  }
+  ThroughputService service;
+  std::vector<Analysis> results;
+  try {
+    results = service.analyze_batch(requests);
+  } catch (const Error& e) {
+    // e.g. the SDF-only expansion method on this CSDF graph.
+    std::cerr << "analysis failed: " << e.what() << "\n";
+    return 1;
+  }
+
+  for (const Analysis& a : results) {
+    std::cout << method_name(a.method) << ": ";
     switch (a.outcome) {
       case Outcome::Value:
         std::cout << "throughput = " << a.throughput << " (period " << a.period << ", "
@@ -51,10 +90,11 @@ int main() {
         std::cout << "budget exhausted";
         break;
     }
-    std::cout << "  [" << format_duration_ms(a.elapsed_ms) << ", " << a.detail << "]\n";
+    std::cout << "  [" << format_duration_ms(a.elapsed_ms) << " on worker " << a.worker_id
+              << ", " << a.detail << "]\n";
   }
 
-  // ---- 3. The optimal K-periodic schedule itself -----------------------------
+  // ---- 4. The optimal K-periodic schedule itself -----------------------------
   const CsdfGraph serialized = add_serialization_buffers(g);
   const RepetitionVector rv2 = compute_repetition_vector(serialized);
   KIterOptions options;

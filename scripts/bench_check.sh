@@ -1,10 +1,20 @@
 #!/usr/bin/env bash
-# Perf gate for the K-iteration hot path: runs bench_hotpath and fails if
-# constraint-graph build time regresses more than 20% against the committed
-# BENCH_hotpath.json baseline at any sweep scale. The gated metric is the
-# stride-vs-reference speedup measured within one run (both generators on
-# the same machine, same load), so the gate is machine-independent — a
-# slower CI box scales both numbers together.
+# Perf gate for the K-iteration hot path and the batch serving path.
+#
+# Gate 1 (bench_hotpath): fails if constraint-graph build time regresses
+# more than 20% against the committed BENCH_hotpath.json baseline at any
+# sweep scale. The gated metric is the stride-vs-reference speedup measured
+# within one run (both generators on the same machine, same load), so the
+# gate is machine-independent — a slower CI box scales both numbers
+# together.
+#
+# Gate 2 (bench_batch): fails if analyze_batch results differ across thread
+# counts (the bench itself exits non-zero), or if the parallel efficiency
+# measured within the run falls below the floor for THIS machine's core
+# count — graphs/sec at min(8, cores) threads must reach 0.4x of the ideal
+# linear speedup when cores >= 2, and must not fall below 0.5x of the
+# single-thread figure on a 1-core box (batch overhead guard). Absolute
+# graphs/sec is never compared across machines.
 #
 # Usage: scripts/bench_check.sh [build-dir]   (default: ./build)
 set -euo pipefail
@@ -13,9 +23,10 @@ repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 baseline="$repo_root/BENCH_hotpath.json"
 bench_bin="$build_dir/bench_hotpath"
+batch_bin="$build_dir/bench_batch"
 
-if [[ ! -x "$bench_bin" ]]; then
-  echo "bench_check: $bench_bin not found — build first (cmake -B build && cmake --build build)" >&2
+if [[ ! -x "$bench_bin" || ! -x "$batch_bin" ]]; then
+  echo "bench_check: $bench_bin / $batch_bin not found — build first (cmake -B build && cmake --build build)" >&2
   exit 2
 fi
 if [[ ! -f "$baseline" ]]; then
@@ -24,7 +35,8 @@ if [[ ! -f "$baseline" ]]; then
 fi
 
 fresh="$(mktemp /tmp/bench_hotpath.XXXXXX.json)"
-trap 'rm -f "$fresh"' EXIT
+fresh_batch="$(mktemp /tmp/bench_batch.XXXXXX.json)"
+trap 'rm -f "$fresh" "$fresh_batch"' EXIT
 
 "$bench_bin" "$fresh"
 
@@ -70,4 +82,52 @@ if failures:
         print(f"  {f}", file=sys.stderr)
     sys.exit(1)
 print("bench_check passed: constraint-graph build speedup within 20% of baseline")
+EOF
+
+# ---- gate 2: batch serving path --------------------------------------------
+# bench_batch exits non-zero itself when results are not bit-identical
+# across thread counts.
+"$batch_bin" "$fresh_batch"
+
+python3 - "$fresh_batch" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    run = json.load(f)
+
+if not run.get("deterministic", False):
+    print("bench_check FAILED: batch results differ across thread counts", file=sys.stderr)
+    sys.exit(1)
+
+cases = {c["threads"]: c for c in run["cases"]}
+cores = run["hardware_concurrency"]
+probe = min(8, max(c["threads"] for c in run["cases"]))
+while probe not in cases:
+    probe -= 1
+speedup = cases[probe]["graphs_per_sec"] / max(cases[1]["graphs_per_sec"], 1e-9)
+
+if cores >= 2:
+    # Parallel-efficiency floor, scaled to this machine: 0.4x of ideal
+    # linear speedup at min(8, cores) workers.
+    required = 0.4 * min(probe, cores)
+else:
+    # Single-core box: threads cannot help; only guard that the threaded
+    # path does not collapse under its own overhead.
+    required = 0.5
+
+marker = "FAIL" if speedup < required else "ok"
+print(
+    f"batch: {cases[1]['graphs_per_sec']:.0f} graphs/sec @1 thread -> "
+    f"{cases[probe]['graphs_per_sec']:.0f} @{probe} threads "
+    f"(speedup {speedup:.2f}x, required >= {required:.2f}x on {cores} core(s)) {marker}"
+)
+if speedup < required:
+    print(
+        f"bench_check FAILED: batch speedup {speedup:.2f}x below the "
+        f"{required:.2f}x floor for this machine",
+        file=sys.stderr,
+    )
+    sys.exit(1)
+print("bench_check passed: batch parallel efficiency above the machine-relative floor")
 EOF

@@ -1,10 +1,8 @@
 #include "api/analysis.hpp"
 
-#include <sstream>
+#include <cctype>
 
-#include "core/kperiodic.hpp"
-#include "model/transform.hpp"
-#include "util/stopwatch.hpp"
+#include "api/service.hpp"
 
 namespace kp {
 
@@ -22,170 +20,29 @@ std::string method_name(Method m) {
   return "?";
 }
 
-namespace {
-
-std::string k_to_string(const std::vector<i64>& k) {
-  // Compact rendering: "1^12" for all-ones, else the few non-1 entries.
-  std::ostringstream os;
-  std::size_t ones = 0;
-  for (const i64 v : k) ones += (v == 1);
-  if (ones == k.size()) {
-    os << "K=1";
-    return os.str();
-  }
-  os << "K={";
-  bool first = true;
-  for (std::size_t i = 0; i < k.size(); ++i) {
-    if (k[i] == 1) continue;
-    if (!first) os << ",";
-    os << "t" << i << ":" << k[i];
-    first = false;
-    if (!first && os.tellp() > 60) {
-      os << ",...";
-      break;
+std::optional<Method> method_from_name(std::string_view name) {
+  // Normalize: lowercase, alphanumerics only — "K-Iter", "k_iter" and
+  // "kiter" all collapse to "kiter", "periodic [4]" to "periodic4".
+  std::string norm;
+  norm.reserve(name.size());
+  for (const char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      norm.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
     }
   }
-  os << "} (" << (k.size() - ones) << " tasks >1)";
-  return os.str();
-}
-
-Analysis run_kiter(const CsdfGraph& g, const AnalysisOptions& options) {
-  Analysis a;
-  const KIterResult r = kiter_throughput(g, options.kiter);
-  std::ostringstream detail;
-  detail << "rounds=" << r.rounds << " " << k_to_string(r.k);
-  switch (r.status) {
-    case ThroughputStatus::Optimal:
-      a.outcome = Outcome::Value;
-      a.quality = Quality::Exact;
-      a.period = r.period;
-      a.throughput = r.throughput;
-      break;
-    case ThroughputStatus::Deadlock:
-      a.outcome = Outcome::Deadlock;
-      break;
-    case ThroughputStatus::Unbounded:
-      a.outcome = Outcome::Unbounded;
-      break;
-    case ThroughputStatus::ResourceLimit:
-      if (r.has_feasible_bound) {
-        a.outcome = Outcome::Value;
-        a.quality = Quality::AchievableBound;
-        a.period = r.period;
-        a.throughput = r.throughput;
-        detail << " (budget hit; best feasible bound reported)";
-      } else {
-        a.outcome = Outcome::Budget;
-      }
-      break;
+  if (norm == "kiter") return Method::KIter;
+  if (norm == "periodic" || norm == "periodic4" || norm == "1periodic") return Method::Periodic;
+  if (norm == "symbolic" || norm == "symbolic16" || norm == "symbolicexecution" ||
+      norm == "sim") {
+    return Method::SymbolicExecution;
   }
-  a.detail = detail.str();
-  return a;
+  if (norm == "expansion" || norm == "expansion10" || norm == "hsdf") return Method::Expansion;
+  return std::nullopt;
 }
-
-Analysis run_periodic(const CsdfGraph& g, const AnalysisOptions& options) {
-  Analysis a;
-  const RepetitionVector rv = compute_repetition_vector(g);
-  KEvalOptions eval;
-  eval.mcrp = options.kiter.mcrp;
-  eval.want_schedule = false;
-  const KPeriodicResult r = periodic_schedule(g, rv, eval);
-  switch (r.status) {
-    case KEvalStatus::Feasible:
-      a.outcome = Outcome::Value;
-      a.quality = Quality::AchievableBound;  // optimal only within K = 1
-      a.period = r.period;
-      a.throughput = r.period.reciprocal();
-      break;
-    case KEvalStatus::InfeasibleK:
-      a.outcome = Outcome::NoSolution;
-      break;
-    case KEvalStatus::Unbounded:
-      a.outcome = Outcome::Unbounded;
-      break;
-  }
-  return a;
-}
-
-Analysis run_symbolic(const CsdfGraph& g, const AnalysisOptions& options) {
-  Analysis a;
-  const RepetitionVector rv = compute_repetition_vector(g);
-  const SimResult r = symbolic_execution_throughput(g, rv, options.sim);
-  std::ostringstream detail;
-  detail << "states=" << r.states_explored;
-  switch (r.status) {
-    case SimStatus::Periodic:
-      a.outcome = Outcome::Value;
-      a.quality = Quality::Exact;
-      a.period = r.period;
-      a.throughput = r.throughput;
-      detail << " transient=" << r.transient_time << " cycle=" << r.cycle_time;
-      break;
-    case SimStatus::Deadlock:
-      a.outcome = Outcome::Deadlock;
-      break;
-    case SimStatus::Unbounded:
-      a.outcome = Outcome::Unbounded;
-      break;
-    case SimStatus::Budget:
-      a.outcome = Outcome::Budget;
-      break;
-  }
-  a.detail = detail.str();
-  return a;
-}
-
-Analysis run_expansion(const CsdfGraph& g, const AnalysisOptions& options) {
-  Analysis a;
-  const RepetitionVector rv = compute_repetition_vector(g);
-  const ExpansionResult r =
-      expansion_throughput(g, rv, options.expansion_max_nodes, options.expansion_max_arcs);
-  std::ostringstream detail;
-  detail << "hsdf_nodes=" << r.nodes << " hsdf_arcs=" << r.arcs;
-  switch (r.status) {
-    case ThroughputStatus::Optimal:
-      a.outcome = Outcome::Value;
-      a.quality = Quality::Exact;
-      a.period = r.period;
-      a.throughput = r.throughput;
-      break;
-    case ThroughputStatus::Deadlock:
-      a.outcome = Outcome::Deadlock;
-      break;
-    case ThroughputStatus::Unbounded:
-      a.outcome = Outcome::Unbounded;
-      break;
-    case ThroughputStatus::ResourceLimit:
-      a.outcome = Outcome::Budget;
-      break;
-  }
-  a.detail = detail.str();
-  return a;
-}
-
-}  // namespace
 
 Analysis analyze_throughput(const CsdfGraph& g, Method method, const AnalysisOptions& options) {
-  const CsdfGraph prepared = options.serialize_tasks ? add_serialization_buffers(g) : g;
-  Stopwatch clock;
-  Analysis a;
-  switch (method) {
-    case Method::KIter:
-      a = run_kiter(prepared, options);
-      break;
-    case Method::Periodic:
-      a = run_periodic(prepared, options);
-      break;
-    case Method::SymbolicExecution:
-      a = run_symbolic(prepared, options);
-      break;
-    case Method::Expansion:
-      a = run_expansion(prepared, options);
-      break;
-  }
-  a.method = method;
-  a.elapsed_ms = clock.elapsed_ms();
-  return a;
+  ThroughputService service(ServiceOptions{.threads = 0});
+  return service.analyze(g, method, options);
 }
 
 }  // namespace kp

@@ -1,6 +1,9 @@
-// One-call throughput analysis façade.
+// Throughput analysis API — request/response types and the one-shot entry
+// point. The batch, multi-threaded surface lives in api/service.hpp
+// (ThroughputService); analyze_throughput below is a thin wrapper over a
+// single-worker service for callers that analyze one graph at a time.
 //
-// Dispatches to the four engines the paper compares (Table 1 / Table 2):
+// Four engines, the ones the paper compares (Table 1 / Table 2):
 //   KIter             — the paper's contribution (exact, fast);
 //   Periodic          — the 1-periodic approximation [4] (K = 1);
 //   SymbolicExecution — exact state-space baseline [16]/[8];
@@ -12,7 +15,9 @@
 // with unlimited auto-concurrency.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "core/kiter.hpp"
 #include "expansion/hsdf.hpp"
@@ -24,6 +29,12 @@ namespace kp {
 enum class Method { KIter, Periodic, SymbolicExecution, Expansion };
 
 [[nodiscard]] std::string method_name(Method m);
+
+/// Inverse of method_name, for parsing method selection from argv: accepts
+/// the display names plus the usual aliases ("kiter", "k-iter", "periodic",
+/// "1-periodic", "symbolic", "sim", "expansion", "hsdf"), ASCII
+/// case-insensitively. Returns nullopt for anything else.
+[[nodiscard]] std::optional<Method> method_from_name(std::string_view name);
 
 /// How trustworthy the reported value is.
 enum class Quality {
@@ -37,7 +48,7 @@ enum class Outcome {
   NoSolution,  ///< the method's schedule class is empty (the paper's "N/S")
   Deadlock,    ///< throughput 0, proven
   Unbounded,   ///< no circuit bounds the rate
-  Budget,      ///< resource budget exhausted without an answer
+  Budget,      ///< resource budget exhausted / deadline / cancelled
 };
 
 struct AnalysisOptions {
@@ -54,10 +65,20 @@ struct Analysis {
   Quality quality = Quality::None;
   Rational period;      // Ω_G, valid when outcome == Value
   Rational throughput;  // 1/Ω_G
-  double elapsed_ms = 0.0;
+  double elapsed_ms = 0.0;  // execution time on the serving worker
   std::string detail;  // human-readable extras (final K, state counts, ...)
+
+  // Service metadata, filled by ThroughputService (defaults for plain
+  // one-shot calls):
+  i64 request_id = -1;    ///< batch index, or the ticket submit() returned
+  int worker_id = -1;     ///< pool worker that served the request
+  double queue_ms = 0.0;  ///< wait between enqueue and execution start
 };
 
+/// One-shot convenience: serves a single request through a single-worker,
+/// inline ThroughputService. Callers analyzing many graphs back to back
+/// should hold a ThroughputService instead — its workers keep their
+/// KIterWorkspace warm across analyses (api/service.hpp).
 [[nodiscard]] Analysis analyze_throughput(const CsdfGraph& g, Method method,
                                           const AnalysisOptions& options = {});
 

@@ -1,0 +1,410 @@
+#include "api/service.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "core/kperiodic.hpp"
+#include "model/transform.hpp"
+#include "util/error.hpp"
+#include "util/stopwatch.hpp"
+
+namespace kp {
+
+namespace {
+
+std::string k_to_string(const std::vector<i64>& k) {
+  // Compact rendering: "1^12" for all-ones, else the few non-1 entries.
+  std::ostringstream os;
+  std::size_t ones = 0;
+  for (const i64 v : k) ones += (v == 1);
+  if (ones == k.size()) {
+    os << "K=1";
+    return os.str();
+  }
+  os << "K={";
+  bool first = true;
+  for (std::size_t i = 0; i < k.size(); ++i) {
+    if (k[i] == 1) continue;
+    if (!first) os << ",";
+    os << "t" << i << ":" << k[i];
+    first = false;
+    if (!first && os.tellp() > 60) {
+      os << ",...";
+      break;
+    }
+  }
+  os << "} (" << (k.size() - ones) << " tasks >1)";
+  return os.str();
+}
+
+/// min of two budgets where < 0 means "unlimited".
+double tighten_budget(double budget_ms, double deadline_ms) {
+  if (deadline_ms < 0) return budget_ms;
+  if (budget_ms < 0) return deadline_ms;
+  return std::min(budget_ms, deadline_ms);
+}
+
+/// The caller's own poll hook (if any) chained behind the request's cancel
+/// flag; lives on the stack for the duration of one K-Iter run.
+struct PollChain {
+  bool (*inner)(void*);
+  void* inner_ctx;
+  const std::atomic<bool>* flag;
+};
+
+Analysis run_kiter(const CsdfGraph& g, const AnalysisOptions& options, double deadline_ms,
+                   const CancelToken& cancel, KIterWorkspace& ws) {
+  Analysis a;
+  KIterOptions kiter = options.kiter;
+  kiter.time_budget_ms = tighten_budget(kiter.time_budget_ms, deadline_ms);
+  PollChain chain{options.kiter.poll, options.kiter.poll_ctx, cancel.flag()};
+  if (chain.flag != nullptr) {
+    kiter.poll = +[](void* p) {
+      const auto& c = *static_cast<const PollChain*>(p);
+      if (c.flag->load(std::memory_order_relaxed)) return true;
+      return c.inner != nullptr && c.inner(c.inner_ctx);
+    };
+    kiter.poll_ctx = &chain;
+  }
+
+  const KIterResult r = kiter_throughput(g, compute_repetition_vector(g), kiter, ws);
+  std::ostringstream detail;
+  detail << "rounds=" << r.rounds << " " << k_to_string(r.k);
+  switch (r.status) {
+    case ThroughputStatus::Optimal:
+      a.outcome = Outcome::Value;
+      a.quality = Quality::Exact;
+      a.period = r.period;
+      a.throughput = r.throughput;
+      break;
+    case ThroughputStatus::Deadlock:
+      a.outcome = Outcome::Deadlock;
+      break;
+    case ThroughputStatus::Unbounded:
+      a.outcome = Outcome::Unbounded;
+      break;
+    case ThroughputStatus::ResourceLimit:
+      if (r.cancelled) {
+        a.outcome = Outcome::Budget;
+        detail << " (cancelled)";
+      } else if (r.has_feasible_bound) {
+        a.outcome = Outcome::Value;
+        a.quality = Quality::AchievableBound;
+        a.period = r.period;
+        a.throughput = r.throughput;
+        detail << " (budget hit; best feasible bound reported)";
+      } else {
+        a.outcome = Outcome::Budget;
+      }
+      break;
+  }
+  a.detail = detail.str();
+  return a;
+}
+
+Analysis run_periodic(const CsdfGraph& g, const AnalysisOptions& options) {
+  Analysis a;
+  const RepetitionVector rv = compute_repetition_vector(g);
+  KEvalOptions eval;
+  eval.mcrp = options.kiter.mcrp;
+  eval.want_schedule = false;
+  const KPeriodicResult r = periodic_schedule(g, rv, eval);
+  switch (r.status) {
+    case KEvalStatus::Feasible:
+      a.outcome = Outcome::Value;
+      a.quality = Quality::AchievableBound;  // optimal only within K = 1
+      a.period = r.period;
+      a.throughput = r.period.reciprocal();
+      break;
+    case KEvalStatus::InfeasibleK:
+      a.outcome = Outcome::NoSolution;
+      break;
+    case KEvalStatus::Unbounded:
+      a.outcome = Outcome::Unbounded;
+      break;
+    case KEvalStatus::Aborted:
+      a.outcome = Outcome::Budget;
+      break;
+  }
+  return a;
+}
+
+Analysis run_symbolic(const CsdfGraph& g, const AnalysisOptions& options, double deadline_ms) {
+  Analysis a;
+  const RepetitionVector rv = compute_repetition_vector(g);
+  SimOptions sim = options.sim;
+  sim.time_budget_ms = tighten_budget(sim.time_budget_ms, deadline_ms);
+  const SimResult r = symbolic_execution_throughput(g, rv, sim);
+  std::ostringstream detail;
+  detail << "states=" << r.states_explored;
+  switch (r.status) {
+    case SimStatus::Periodic:
+      a.outcome = Outcome::Value;
+      a.quality = Quality::Exact;
+      a.period = r.period;
+      a.throughput = r.throughput;
+      detail << " transient=" << r.transient_time << " cycle=" << r.cycle_time;
+      break;
+    case SimStatus::Deadlock:
+      a.outcome = Outcome::Deadlock;
+      break;
+    case SimStatus::Unbounded:
+      a.outcome = Outcome::Unbounded;
+      break;
+    case SimStatus::Budget:
+      a.outcome = Outcome::Budget;
+      break;
+  }
+  a.detail = detail.str();
+  return a;
+}
+
+Analysis run_expansion(const CsdfGraph& g, const AnalysisOptions& options) {
+  Analysis a;
+  const RepetitionVector rv = compute_repetition_vector(g);
+  const ExpansionResult r =
+      expansion_throughput(g, rv, options.expansion_max_nodes, options.expansion_max_arcs);
+  std::ostringstream detail;
+  detail << "hsdf_nodes=" << r.nodes << " hsdf_arcs=" << r.arcs;
+  switch (r.status) {
+    case ThroughputStatus::Optimal:
+      a.outcome = Outcome::Value;
+      a.quality = Quality::Exact;
+      a.period = r.period;
+      a.throughput = r.throughput;
+      break;
+    case ThroughputStatus::Deadlock:
+      a.outcome = Outcome::Deadlock;
+      break;
+    case ThroughputStatus::Unbounded:
+      a.outcome = Outcome::Unbounded;
+      break;
+    case ThroughputStatus::ResourceLimit:
+      a.outcome = Outcome::Budget;
+      break;
+  }
+  a.detail = detail.str();
+  return a;
+}
+
+/// One request, start to finish, on the given workspace. This is the single
+/// execution path every service entry point funnels through — batch, async
+/// and inline analyses of the same request are therefore identical.
+Analysis execute_request(const CsdfGraph& graph, Method method, const AnalysisOptions& options,
+                         double deadline_ms, const CancelToken& cancel, KIterWorkspace& ws) {
+  Stopwatch clock;
+  Analysis a;
+  if (cancel.cancelled()) {
+    a.method = method;
+    a.outcome = Outcome::Budget;
+    a.detail = "cancelled before execution";
+    a.elapsed_ms = clock.elapsed_ms();
+    return a;
+  }
+  CsdfGraph serialized;
+  if (options.serialize_tasks) serialized = add_serialization_buffers(graph);
+  const CsdfGraph& prepared = options.serialize_tasks ? serialized : graph;
+  switch (method) {
+    case Method::KIter:
+      a = run_kiter(prepared, options, deadline_ms, cancel, ws);
+      break;
+    case Method::Periodic:
+      a = run_periodic(prepared, options);
+      break;
+    case Method::SymbolicExecution:
+      a = run_symbolic(prepared, options, deadline_ms);
+      break;
+    case Method::Expansion:
+      a = run_expansion(prepared, options);
+      break;
+  }
+  a.method = method;
+  a.elapsed_ms = clock.elapsed_ms();
+  return a;
+}
+
+}  // namespace
+
+/// One enqueued request. Batch jobs reference the caller's span (valid for
+/// the whole blocking analyze_batch call); submitted jobs own theirs.
+struct ThroughputService::Job {
+  const AnalysisRequest* request = nullptr;
+  AnalysisRequest owned;
+  i64 id = -1;
+  Stopwatch queued;
+  Analysis result;
+  std::exception_ptr error;
+  bool done = false;
+
+  [[nodiscard]] const AnalysisRequest& req() const { return request ? *request : owned; }
+};
+
+ThroughputService::ThroughputService(ServiceOptions options) {
+  int n = options.threads;
+  if (n < 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    n = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  // One workspace per pool thread plus one for the calling thread (inline
+  // mode and analyze()); index n is the caller's.
+  workers_.reserve(static_cast<std::size_t>(n) + 1);
+  for (int i = 0; i <= n; ++i) workers_.push_back(std::make_unique<Worker>());
+  threads_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThroughputService::~ThroughputService() {
+  std::deque<std::shared_ptr<Job>> orphans;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+    orphans.swap(queue_);
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : threads_) t.join();
+  {
+    // Requests still queued at shutdown complete as Budget so pending
+    // wait() calls (which must finish before destruction returns control
+    // to the caller) observe a well-formed result.
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const std::shared_ptr<Job>& job : orphans) {
+      job->result.method = job->req().method;
+      job->result.outcome = Outcome::Budget;
+      job->result.detail = "service shut down before execution";
+      job->result.request_id = job->id;
+      job->result.queue_ms = job->queued.elapsed_ms();
+      job->done = true;
+    }
+  }
+  job_done_.notify_all();
+}
+
+void ThroughputService::worker_loop(int worker_id) {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_ready_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, nothing left to serve
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    run_job(*job, worker_id);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      job->done = true;
+    }
+    job_done_.notify_all();
+  }
+}
+
+void ThroughputService::run_job(Job& job, int worker_id) {
+  const AnalysisRequest& req = job.req();
+  const double queue_ms = job.queued.elapsed_ms();
+  try {
+    job.result = execute_request(req.graph, req.method, req.options, req.deadline_ms, req.cancel,
+                                 workers_[static_cast<std::size_t>(worker_id)]->workspace);
+  } catch (...) {
+    job.error = std::current_exception();
+  }
+  job.result.request_id = job.id;
+  job.result.worker_id = worker_id;
+  job.result.queue_ms = queue_ms;
+}
+
+std::vector<Analysis> ThroughputService::analyze_batch(std::span<const AnalysisRequest> requests) {
+  std::vector<std::shared_ptr<Job>> jobs;
+  jobs.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    auto job = std::make_shared<Job>();
+    job->request = &requests[i];
+    job->id = static_cast<i64>(i);
+    jobs.push_back(std::move(job));
+  }
+
+  if (inline_mode()) {
+    Worker& caller = *workers_.back();
+    std::lock_guard<std::mutex> wk(caller.in_use);
+    for (const std::shared_ptr<Job>& job : jobs) {
+      run_job(*job, static_cast<int>(workers_.size()) - 1);
+      job->done = true;
+    }
+  } else {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (stopping_) throw SolverError("ThroughputService: analyze_batch after shutdown");
+      for (const std::shared_ptr<Job>& job : jobs) queue_.push_back(job);
+    }
+    work_ready_.notify_all();
+    std::unique_lock<std::mutex> lk(mu_);
+    for (const std::shared_ptr<Job>& job : jobs) {
+      job_done_.wait(lk, [&] { return job->done; });
+    }
+  }
+
+  std::vector<Analysis> results;
+  results.reserve(jobs.size());
+  for (const std::shared_ptr<Job>& job : jobs) {
+    if (job->error) std::rethrow_exception(job->error);
+    results.push_back(std::move(job->result));
+  }
+  return results;
+}
+
+i64 ThroughputService::submit(AnalysisRequest request) {
+  auto job = std::make_shared<Job>();
+  job->owned = std::move(request);
+  i64 id;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_) throw SolverError("ThroughputService: submit after shutdown");
+    id = next_ticket_++;
+    job->id = id;
+    tickets_.emplace(id, job);
+    if (!inline_mode()) queue_.push_back(job);
+  }
+  if (inline_mode()) {
+    Worker& caller = *workers_.back();
+    std::lock_guard<std::mutex> wk(caller.in_use);
+    run_job(*job, static_cast<int>(workers_.size()) - 1);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      job->done = true;
+    }
+    job_done_.notify_all();  // another thread may already sit in wait()
+  } else {
+    work_ready_.notify_one();
+  }
+  return id;
+}
+
+Analysis ThroughputService::wait(i64 ticket) {
+  std::shared_ptr<Job> job;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    const auto it = tickets_.find(ticket);
+    if (it == tickets_.end()) {
+      throw SolverError("ThroughputService::wait: unknown or already-collected ticket");
+    }
+    job = it->second;
+    tickets_.erase(it);
+    job_done_.wait(lk, [&] { return job->done; });
+  }
+  if (job->error) std::rethrow_exception(job->error);
+  return std::move(job->result);
+}
+
+Analysis ThroughputService::analyze(const CsdfGraph& g, Method method,
+                                    const AnalysisOptions& options, double deadline_ms,
+                                    const CancelToken& cancel) {
+  Worker& caller = *workers_.back();
+  std::lock_guard<std::mutex> wk(caller.in_use);
+  Analysis a = execute_request(g, method, options, deadline_ms, cancel, caller.workspace);
+  a.worker_id = static_cast<int>(workers_.size()) - 1;
+  return a;
+}
+
+}  // namespace kp

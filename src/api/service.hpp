@@ -1,0 +1,163 @@
+// ThroughputService: batch, multi-threaded throughput analysis with
+// deadlines, cancellation, and per-worker workspace reuse.
+//
+// Design-space exploration workloads (buffer-sizing sweeps, multi-scenario
+// analyses) evaluate thousands of graph variants per run. The service keeps
+// a fixed pool of workers, each owning one long-lived KIterWorkspace reused
+// across every analysis it serves — so the zero-allocation warm-round
+// contract of core/kiter.hpp pays off across requests, not just within one.
+//
+// Three ways in:
+//   * analyze_batch(requests) — run them all over the pool; results come
+//     back in request order and are bit-identical regardless of the thread
+//     count (each analysis is independent and deterministic; only the
+//     timing/worker metadata varies between runs). Caveat: that guarantee
+//     holds for requests without wall-clock limits — a deadline_ms or a
+//     time_budget_ms races real time, so its budget-limited rows can flip
+//     under worker contention; structural budgets (max_constraint_pairs,
+//     max_states) stay deterministic at any thread count;
+//   * submit(request) / wait(id) — async: enqueue now, collect later;
+//   * analyze(graph, method, ...) — serve one request inline on the
+//     calling thread (what analyze_throughput uses).
+//
+// Deadlines and cancellation are cooperative. A request's deadline_ms and
+// CancelToken are threaded into the K-Iter round loop as its poll hook, so
+// KIter exits between rounds *and* mid-round (every KIterOptions::
+// poll_row_stride producer rows of constraint generation). A cancelled
+// request reports Outcome::Budget; an expired deadline reports the best
+// achievable bound found so far as Quality::AchievableBound (matching
+// KIter's time_budget_ms semantics — the detail string says the budget
+// was hit), or Outcome::Budget when no round completed. For
+// SymbolicExecution the deadline tightens the simulator's time budget;
+// Periodic/Expansion check the token only before execution starts (both
+// are single-shot solves). A cancelled or expired request never aborts
+// the rest of a batch — every other request still runs to completion.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "api/analysis.hpp"
+#include "core/kperiodic.hpp"
+
+namespace kp {
+
+/// Shared cooperative cancellation flag. Copies observe the same cancel();
+/// a default-constructed token is inert (never cancellable). Thread-safe.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// A fresh, cancellable token.
+  [[nodiscard]] static CancelToken create() {
+    CancelToken t;
+    t.state_ = std::make_shared<std::atomic<bool>>(false);
+    return t;
+  }
+
+  void cancel() const {
+    if (state_) state_->store(true, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool cancelled() const {
+    return state_ && state_->load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool cancellable() const { return state_ != nullptr; }
+
+  /// The raw flag, for wiring into poll hooks without allocation (null for
+  /// an inert token).
+  [[nodiscard]] const std::atomic<bool>* flag() const { return state_.get(); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> state_;
+};
+
+/// One unit of work: a graph, the engine to run, its options, and the
+/// request-level controls (deadline, cancellation).
+struct AnalysisRequest {
+  CsdfGraph graph;
+  Method method = Method::KIter;
+  AnalysisOptions options{};
+
+  /// Wall-clock budget for this request, measured from execution start on a
+  /// worker; < 0 disables. Tightens (never loosens) the per-engine budgets
+  /// already in `options`.
+  double deadline_ms = -1.0;
+
+  /// Cooperative cancel (see the header comment for per-method granularity).
+  CancelToken cancel{};
+};
+
+struct ServiceOptions {
+  /// Worker threads. 0 = inline mode: no threads are spawned and every
+  /// request runs on the calling thread through worker 0's persistent
+  /// workspace. < 0 = one worker per available hardware thread.
+  int threads = -1;
+};
+
+class ThroughputService {
+ public:
+  explicit ThroughputService(ServiceOptions options = {});
+  ~ThroughputService();
+  ThroughputService(const ThroughputService&) = delete;
+  ThroughputService& operator=(const ThroughputService&) = delete;
+
+  /// Pool size (>= 1; in inline mode the calling thread is the one worker).
+  [[nodiscard]] int worker_count() const {
+    return threads_.empty() ? 1 : static_cast<int>(threads_.size());
+  }
+  /// True when no worker threads exist and requests run on the caller.
+  [[nodiscard]] bool inline_mode() const { return threads_.empty(); }
+
+  /// Analyzes every request over the pool. results[i] answers requests[i]
+  /// with request_id == i; the value fields (outcome/quality/period/
+  /// throughput/k-detail) are deterministic regardless of worker_count().
+  [[nodiscard]] std::vector<Analysis> analyze_batch(std::span<const AnalysisRequest> requests);
+
+  /// Async path: enqueue one request (the graph is moved in), returns the
+  /// ticket to pass to wait(). In inline mode the request is served
+  /// synchronously before submit() returns.
+  i64 submit(AnalysisRequest request);
+
+  /// Blocks until the submitted request finishes, returns its Analysis and
+  /// forgets the ticket. Throws SolverError for an unknown/already-waited
+  /// ticket. A pending request whose token is cancelled while queued (or
+  /// when the service is destroyed) completes with Outcome::Budget instead
+  /// of running.
+  [[nodiscard]] Analysis wait(i64 ticket);
+
+  /// Serves one request inline on the calling thread (no graph copy),
+  /// through worker 0's workspace.
+  [[nodiscard]] Analysis analyze(const CsdfGraph& g, Method method,
+                                 const AnalysisOptions& options = {}, double deadline_ms = -1.0,
+                                 const CancelToken& cancel = {});
+
+ private:
+  struct Job;
+  struct Worker {
+    KIterWorkspace workspace;
+    std::mutex in_use;  // guards the workspace in inline mode
+  };
+
+  void worker_loop(int worker_id);
+  void run_job(Job& job, int worker_id);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable job_done_;
+  std::deque<std::shared_ptr<Job>> queue_;
+  std::unordered_map<i64, std::shared_ptr<Job>> tickets_;
+  i64 next_ticket_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace kp

@@ -169,9 +169,14 @@ i128 constraint_work_estimate(const CsdfGraph& g, const std::vector<i64>& k) {
   return work;
 }
 
-void build_constraint_graph_into(const CsdfGraph& g, const RepetitionVector& rv,
-                                 const std::vector<i64>& k, ConstraintGraph& cg) {
+bool build_constraint_graph_into(const CsdfGraph& g, const RepetitionVector& rv,
+                                 const std::vector<i64>& k, ConstraintGraph& cg,
+                                 const ConstraintPoll* poll) {
   init_constraint_nodes(g, rv, k, cg);
+  // Poll budget: producer rows left until the next fn(ctx) call.
+  const i64 poll_stride =
+      (poll != nullptr && poll->fn != nullptr) ? std::max<i64>(poll->row_stride, 1) : 0;
+  i64 rows_until_poll = poll_stride;
 
   // Per buffer, emit exactly the useful (p̃, p̃') pairs. With
   // γ = gcd(ĩ_b, õ_b), Q̃ - 1 = cum_out(p̃') + A(p̃) and a pair is useful
@@ -209,6 +214,10 @@ void build_constraint_graph_into(const CsdfGraph& g, const RepetitionVector& rv,
     const i64 rows = checked_mul(kt, i64{phi});
     const std::int32_t first2 = cg.task_first_node[static_cast<std::size_t>(t2)];
     for (i64 pt = 1; pt <= rows; ++pt) {
+      if (poll_stride != 0 && --rows_until_poll <= 0) {
+        if (poll->should_stop()) return false;
+        rows_until_poll = poll_stride;
+      }
       const auto p = static_cast<std::int32_t>((pt - 1) % phi) + 1;
       const i128 cum_in = checked_add(
           checked_mul(i128{(pt - 1) / phi}, i128{b.total_prod}),
@@ -261,12 +270,13 @@ void build_constraint_graph_into(const CsdfGraph& g, const RepetitionVector& rv,
     }
   }
   cg.graph.graph().finalize();
+  return true;
 }
 
 ConstraintGraph build_constraint_graph(const CsdfGraph& g, const RepetitionVector& rv,
                                        const std::vector<i64>& k) {
   ConstraintGraph cg;
-  build_constraint_graph_into(g, rv, k, cg);
+  (void)build_constraint_graph_into(g, rv, k, cg);
   return cg;
 }
 

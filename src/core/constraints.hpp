@@ -74,6 +74,20 @@ struct ConstraintGraph {
                                              const std::vector<std::int32_t>& arc_ids) const;
 };
 
+/// Cooperative abort for constraint generation. `fn(ctx)` is polled about
+/// once every `row_stride` producer rows, so a deadline or cancellation
+/// overshoot inside a pathological single-round blowup is bounded by one
+/// stride batch instead of one full round. Function-pointer + context form
+/// (rather than std::function) so the K-iteration hot path can poll without
+/// heap allocations; fn == nullptr disables polling entirely.
+struct ConstraintPoll {
+  bool (*fn)(void* ctx) = nullptr;  ///< return true to abandon the build
+  void* ctx = nullptr;
+  i64 row_stride = 256;
+
+  [[nodiscard]] bool should_stop() const { return fn != nullptr && fn(ctx); }
+};
+
 /// Builds the constraint graph for periodicity vector `k` (one entry per
 /// task, each >= 1). `rv` must be the repetition vector of `g` (consistent).
 [[nodiscard]] ConstraintGraph build_constraint_graph(const CsdfGraph& g,
@@ -83,8 +97,11 @@ struct ConstraintGraph {
 /// Storage-reusing variant: rebuilds `out` in place, keeping the capacity of
 /// every internal vector. After a warming build, rebuilding a graph of no
 /// larger size performs zero heap allocations (the K-iteration hot path).
-void build_constraint_graph_into(const CsdfGraph& g, const RepetitionVector& rv,
-                                 const std::vector<i64>& k, ConstraintGraph& out);
+/// Returns false iff `poll` aborted the build — `out` is then partial and
+/// must not be solved.
+bool build_constraint_graph_into(const CsdfGraph& g, const RepetitionVector& rv,
+                                 const std::vector<i64>& k, ConstraintGraph& out,
+                                 const ConstraintPoll* poll = nullptr);
 
 /// Brute-force O(rows·cols) reference generator (the pre-stride scan), kept
 /// for the equivalence tests and the bench_hotpath comparison. Produces the

@@ -72,9 +72,32 @@ KIterResult kiter_throughput(const CsdfGraph& g, const RepetitionVector& rv,
   std::vector<i64> best_k;
   Rational best_period;
 
-  auto out_of_budget = [&]() {
-    return options.time_budget_ms >= 0.0 && clock.elapsed_ms() > options.time_budget_ms;
+  // One deadline/cancel predicate serves both the between-rounds checks and
+  // the in-generation ConstraintPoll. Captureless lambda + context struct so
+  // warm rounds stay allocation-free.
+  struct PollCtx {
+    const KIterOptions* options;
+    const Stopwatch* clock;
+    bool cancelled = false;
+    bool timed_out = false;
+  } poll_state{&options, &clock};
+  const auto poll_fn = +[](void* p) -> bool {
+    auto& ctx = *static_cast<PollCtx*>(p);
+    const KIterOptions& o = *ctx.options;
+    if (o.poll != nullptr && o.poll(o.poll_ctx)) {
+      ctx.cancelled = true;
+      return true;
+    }
+    if (o.time_budget_ms >= 0.0 && ctx.clock->elapsed_ms() > o.time_budget_ms) {
+      ctx.timed_out = true;
+      return true;
+    }
+    return false;
   };
+  const bool want_poll = options.poll != nullptr || options.time_budget_ms >= 0.0;
+  const ConstraintPoll round_poll{poll_fn, &poll_state, options.poll_row_stride};
+
+  auto out_of_budget = [&]() { return want_poll && poll_fn(&poll_state); };
 
   // Schedule extraction for the K the workspace currently holds: one
   // potentials relaxation on the already-built, already-solved graph.
@@ -96,9 +119,14 @@ KIterResult kiter_throughput(const CsdfGraph& g, const RepetitionVector& rv,
 
   auto finish_resource_limit = [&](int rounds_done) {
     result.status = ThroughputStatus::ResourceLimit;
+    result.cancelled = poll_state.cancelled;
     result.k = k;
     result.rounds = rounds_done;
-    if (result.has_feasible_bound) result.schedule = extract_schedule(best_k);
+    // Structural exits (pair guard, max_rounds) re-evaluate the best K once
+    // to report its schedule; deadline/cancel exits skip that extra round so
+    // they return promptly — the bound period itself is still reported.
+    const bool time_exit = poll_state.cancelled || poll_state.timed_out;
+    if (result.has_feasible_bound && !time_exit) result.schedule = extract_schedule(best_k);
     return result;
   };
 
@@ -114,7 +142,9 @@ KIterResult kiter_throughput(const CsdfGraph& g, const RepetitionVector& rv,
     }
 
     // ---- evaluate this K (allocation-free once the workspace is warm) ------
-    const KEvalStatus status = evaluate_k_periodic_round(g, rv, k, options.mcrp, ws);
+    const KEvalStatus status = evaluate_k_periodic_round(g, rv, k, options.mcrp, ws,
+                                                         want_poll ? &round_poll : nullptr);
+    if (status == KEvalStatus::Aborted) return finish_resource_limit(round);
     result.rounds = round + 1;
 
     if (options.record_trace) {

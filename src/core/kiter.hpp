@@ -69,13 +69,27 @@ struct KIterOptions {
   /// the candidate (p̃,p̃') pair count and the stride generator's work
   /// estimate (see constraint_work_estimate) — exceeds this (the
   /// graph2/graph3-style blowups); the run then returns ResourceLimit with
-  /// the best achievable bound so far. Note: a ResourceLimit exit with a
-  /// feasible bound re-evaluates the best K once to report its schedule,
-  /// so a time_budget_ms deadline can be overshot by about one round.
+  /// the best achievable bound so far. Note: a structural ResourceLimit
+  /// exit (this guard or max_rounds) with a feasible bound re-evaluates the
+  /// best K once to report its schedule; time/cancel exits skip that
+  /// re-evaluation so they return promptly.
   i128 max_constraint_pairs = i128{200} * 1000 * 1000;
 
-  /// Wall-clock budget; < 0 disables.
+  /// Wall-clock budget; < 0 disables. Checked between rounds AND inside
+  /// constraint generation (every poll_row_stride producer rows), so a
+  /// deadline overshoot is bounded by one stride batch plus one MCRP solve,
+  /// not one full round of generation.
   double time_budget_ms = -1.0;
+
+  /// Cooperative cancellation hook, polled wherever time_budget_ms is
+  /// checked. A true return stops the run with ResourceLimit (carrying the
+  /// best achievable bound so far) and sets KIterResult::cancelled.
+  /// Function-pointer + context form keeps warm rounds allocation-free.
+  bool (*poll)(void* ctx) = nullptr;
+  void* poll_ctx = nullptr;
+
+  /// Producer rows between in-generation deadline/cancel checks.
+  i64 poll_row_stride = 256;
 
   /// Record one KIterRound per iteration in the result.
   bool record_trace = false;
@@ -92,6 +106,10 @@ struct KIterResult {
   /// 1/Ω (0 when Deadlock, 0 marker when Unbounded — check status).
   Rational throughput;
   bool has_feasible_bound = false;
+
+  /// A ResourceLimit exit was triggered by the caller's poll hook (vs. the
+  /// run's own time/size budgets).
+  bool cancelled = false;
 
   std::vector<i64> k;  // final periodicity vector
   int rounds = 0;

@@ -4,8 +4,10 @@ namespace kp {
 
 KEvalStatus evaluate_k_periodic_round(const CsdfGraph& g, const RepetitionVector& rv,
                                       const std::vector<i64>& k, const McrpOptions& mcrp,
-                                      KIterWorkspace& ws) {
-  build_constraint_graph_into(g, rv, k, ws.constraints);
+                                      KIterWorkspace& ws, const ConstraintPoll* poll) {
+  if (!build_constraint_graph_into(g, rv, k, ws.constraints, poll)) {
+    return KEvalStatus::Aborted;
+  }
   McrpOptions options = mcrp;
   options.compute_potentials = false;
   solve_max_cycle_ratio(ws.constraints.graph, options, ws.mcrp, ws.solved);

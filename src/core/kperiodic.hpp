@@ -22,6 +22,7 @@ enum class KEvalStatus {
   Feasible,     ///< a K-periodic schedule exists; `schedule` is the fastest
   InfeasibleK,  ///< no K-periodic schedule for this K (the paper's "N/S")
   Unbounded,    ///< period 0 feasible: no circuit constrains the rate
+  Aborted,      ///< a ConstraintPoll stopped generation mid-round; no result
 };
 
 /// A complete K-periodic schedule (Definition §2.4): the first K_t
@@ -101,10 +102,13 @@ struct KIterWorkspace {
 /// graph for `k` into ws.constraints, solves the MCRP into ws.solved
 /// (without potentials — schedule extraction is a separate, final-round
 /// concern), and refreshes ws.critical_tasks from the critical (or witness)
-/// circuit. The period for a Feasible round is ws.solved.ratio.
+/// circuit. The period for a Feasible round is ws.solved.ratio. A non-null
+/// `poll` is forwarded into constraint generation (see ConstraintPoll);
+/// when it fires the round returns Aborted and the workspace holds a
+/// partial graph that must not be read.
 KEvalStatus evaluate_k_periodic_round(const CsdfGraph& g, const RepetitionVector& rv,
                                       const std::vector<i64>& k, const McrpOptions& mcrp,
-                                      KIterWorkspace& ws);
+                                      KIterWorkspace& ws, const ConstraintPoll* poll = nullptr);
 
 /// Assembles the complete schedule from already-solved node potentials.
 /// Shared by evaluate_k_periodic and the K-iteration finale (which computes
