@@ -10,6 +10,13 @@
 //   * round_ms           — one warm K-round (build + solve) through a
 //                          KIterWorkspace, the steady-state per-round cost
 //
+// Plus the incremental-engine comparison on a 16-task gcd-structured chain
+// (the warm-round shape the K-Iter loop actually produces: one task on the
+// critical circuit bumps K, 15 don't):
+//   * full_ms  — full stride rebuild of the constraint graph
+//   * patch_ms — diff-and-patch through a warm ConstraintGraphCache
+// The gated figure is the within-run ratio full_ms / patch_ms.
+//
 // All numbers are min-of-N to damp scheduler noise. Results go to stdout as
 // a table and to BENCH_hotpath.json (first CLI arg overrides the path) for
 // scripts/bench_check.sh to track regressions.
@@ -61,10 +68,41 @@ struct CaseResult {
   double round_ms = 0;
 };
 
+struct IncrementalResult {
+  i64 g = 0;
+  i64 arcs = 0;
+  double full_ms = 0;   // full stride rebuild
+  double patch_ms = 0;  // warm diff-and-patch, one touched task of 16
+};
+
 std::string fmt(double ms) {
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.4f", ms);
   return buf;
+}
+
+/// gcd-structured chain: t0 fans g tokens into a rate-1 pipeline of
+/// `tasks - 1` serialized stages, closed back to t0 (q = [1, g, ..., g]).
+/// The K-Iter warm-round shape at scale: bumping ONE mid-chain task's K
+/// touches 3 of the 2·tasks - 1 buffers and leaves the rest to splice.
+CsdfGraph gcd_chain(std::int32_t tasks, i64 g) {
+  CsdfGraph out("gcd-chain-" + std::to_string(tasks) + "-" + std::to_string(g));
+  std::vector<TaskId> t;
+  t.push_back(out.add_task("t0", 3));
+  for (std::int32_t i = 1; i < tasks; ++i) {
+    t.push_back(out.add_task("t" + std::to_string(i), 1 + i % 3));
+  }
+  out.add_buffer("b0", t[0], t[1], g, 1, 0);
+  for (std::int32_t i = 1; i + 1 < tasks; ++i) {
+    out.add_buffer("b" + std::to_string(i), t[static_cast<std::size_t>(i)],
+                   t[static_cast<std::size_t>(i) + 1], 1, 1, 0);
+  }
+  out.add_buffer("back", t.back(), t[0], 1, g, g);
+  for (std::int32_t i = 1; i < tasks; ++i) {
+    out.add_buffer("s" + std::to_string(i), t[static_cast<std::size_t>(i)],
+                   t[static_cast<std::size_t>(i)], 1, 1, 1);
+  }
+  return out;
 }
 
 }  // namespace
@@ -123,8 +161,65 @@ int main(int argc, char** argv) {
   std::cout << "Hot-path microbenchmark — gcd-structured sweep, K = q̄ = [1, g, g]\n\n";
   table.print(std::cout);
 
+  // ---- incremental engine: warm patch vs full rebuild ----------------------
+  // 16-task chain, K flips on one mid-chain task only (<25% of tasks on the
+  // "critical circuit"): 3 of 31 buffers regenerate, 28 splice.
+  const std::int32_t chain_tasks = 16;
+  std::vector<IncrementalResult> inc_results;
+  Table inc_table({"g", "arcs", "full rebuild (ms)", "patch (ms)", "patch speedup"});
+  for (const i64 g : scales) {
+    const CsdfGraph graph = gcd_chain(chain_tasks, g);
+    const RepetitionVector rv = compute_repetition_vector(graph);
+    std::vector<i64> ka(static_cast<std::size_t>(chain_tasks), g);
+    ka[0] = 1;
+    std::vector<i64> kb = ka;
+    kb[chain_tasks / 2] = g / 2;  // scales are all even
+
+    IncrementalResult ir;
+    ir.g = g;
+
+    ConstraintGraph patched;
+    ConstraintGraphCache cache;
+    // Cold build + enough alternations to warm both ping-pong sides at
+    // both K vectors.
+    for (const auto* k : {&ka, &kb, &ka, &kb, &ka}) {
+      build_constraint_graph_incremental(graph, rv, *k, patched, cache);
+    }
+    ir.arcs = patched.graph.arc_count();
+    ir.patch_ms = min_ms_of(repeats, [&] {
+                    build_constraint_graph_incremental(graph, rv, kb, patched, cache);
+                    build_constraint_graph_incremental(graph, rv, ka, patched, cache);
+                  }) /
+                  2.0;
+
+    ConstraintGraph full;
+    build_constraint_graph_into(graph, rv, ka, full);
+    ir.full_ms = min_ms_of(repeats, [&] {
+                   build_constraint_graph_into(graph, rv, kb, full);
+                   build_constraint_graph_into(graph, rv, ka, full);
+                 }) /
+                 2.0;
+
+    // Sanity: the patched graph must match the full build it replaces.
+    if (patched.graph.arc_count() != full.graph.arc_count()) {
+      std::cerr << "FAIL: patched arc count diverges at g = " << g << "\n";
+      return 1;
+    }
+
+    const double speedup = ir.full_ms / std::max(ir.patch_ms, 1e-9);
+    char spd[32];
+    std::snprintf(spd, sizeof spd, "%.1fx", speedup);
+    inc_table.row({std::to_string(g), std::to_string(ir.arcs), fmt(ir.full_ms),
+                   fmt(ir.patch_ms), spd});
+    inc_results.push_back(ir);
+  }
+
+  std::cout << "\nIncremental engine — " << chain_tasks
+            << "-task gcd chain, 1 task's K flips per round\n\n";
+  inc_table.print(std::cout);
+
   std::ofstream json(json_path);
-  json << "{\n  \"schema\": 1,\n  \"sweep\": \"gcd-ring\",\n  \"cases\": [\n";
+  json << "{\n  \"schema\": 2,\n  \"sweep\": \"gcd-ring\",\n  \"cases\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const CaseResult& cr = results[i];
     json << "    {\"g\": " << cr.g << ", \"pairs\": " << to_string(cr.pairs)
@@ -133,13 +228,27 @@ int main(int argc, char** argv) {
          << ", \"round_ms\": " << cr.round_ms << "}" << (i + 1 < results.size() ? "," : "")
          << "\n";
   }
+  json << "  ],\n  \"incremental\": [\n";
+  for (std::size_t i = 0; i < inc_results.size(); ++i) {
+    const IncrementalResult& ir = inc_results[i];
+    json << "    {\"g\": " << ir.g << ", \"tasks\": " << chain_tasks << ", \"arcs\": " << ir.arcs
+         << ", \"full_ms\": " << ir.full_ms << ", \"patch_ms\": " << ir.patch_ms << "}"
+         << (i + 1 < inc_results.size() ? "," : "") << "\n";
+  }
   json << "  ]\n}\n";
   std::cout << "\nwrote " << json_path << "\n";
 
-  // Self-check: the optimization's acceptance floor.
+  // Self-checks: the optimizations' acceptance floors.
   for (const CaseResult& cr : results) {
     if (cr.build_reference_ms < 5.0 * cr.build_stride_ms) {
       std::cerr << "FAIL: stride build speedup below 5x at g = " << cr.g << "\n";
+      return 1;
+    }
+  }
+  for (const IncrementalResult& ir : inc_results) {
+    if (ir.full_ms < 1.1 * ir.patch_ms) {
+      std::cerr << "FAIL: patch path not measurably faster than full rebuild at g = " << ir.g
+                << "\n";
       return 1;
     }
   }

@@ -8,6 +8,12 @@
 # gate is machine-independent — a slower CI box scales both numbers
 # together.
 #
+# Gate 1b (incremental engine, same bench run): on the 16-task gcd chain
+# where one task's K flips per round, the warm diff-and-patch path must
+# rebuild constraint-graph state at least 1.5x faster than a full stride
+# regeneration. Both sides are measured within the same run, so this gate
+# is machine-relative too (no committed baseline needed).
+#
 # Gate 2 (bench_batch): fails if analyze_batch results differ across thread
 # counts (the bench itself exits non-zero), or if the parallel efficiency
 # measured within the run falls below the floor for THIS machine's core
@@ -82,6 +88,44 @@ if failures:
         print(f"  {f}", file=sys.stderr)
     sys.exit(1)
 print("bench_check passed: constraint-graph build speedup within 20% of baseline")
+EOF
+
+# ---- gate 1b: incremental engine (patch vs full rebuild, within-run) -------
+python3 - "$fresh" <<'EOF'
+import json
+import sys
+
+FLOOR = 1.5  # patch must beat a full rebuild by at least this factor
+
+with open(sys.argv[1]) as f:
+    run = json.load(f)
+
+cases = run.get("incremental", [])
+if not cases:
+    print(
+        "bench_check FAILED: no 'incremental' section in fresh bench_hotpath run "
+        "(old binary?)",
+        file=sys.stderr,
+    )
+    sys.exit(1)
+
+failures = []
+for case in cases:
+    speedup = case["full_ms"] / max(case["patch_ms"], 1e-9)
+    marker = "FAIL" if speedup < FLOOR else "ok"
+    print(
+        f"g={case['g']}: incremental patch {case['patch_ms']:.4f} ms vs full rebuild "
+        f"{case['full_ms']:.4f} ms (speedup {speedup:.2f}x, floor {FLOOR:.2f}x) {marker}"
+    )
+    if speedup < FLOOR:
+        failures.append(f"g={case['g']}: patch speedup {speedup:.2f}x below {FLOOR:.2f}x")
+
+if failures:
+    print("bench_check FAILED:", file=sys.stderr)
+    for f in failures:
+        print(f"  {f}", file=sys.stderr)
+    sys.exit(1)
+print("bench_check passed: incremental patch path beats full rebuild on the gcd chain")
 EOF
 
 # ---- gate 2: batch serving path --------------------------------------------

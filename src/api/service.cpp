@@ -46,11 +46,19 @@ double tighten_budget(double budget_ms, double deadline_ms) {
 }
 
 /// The caller's own poll hook (if any) chained behind the request's cancel
-/// flag; lives on the stack for the duration of one K-Iter run.
+/// flag; lives on the stack for the duration of one engine run. `hook` is
+/// the shared chaining predicate both K-Iter and the symbolic engine
+/// install (flag first, then the inner hook).
 struct PollChain {
   bool (*inner)(void*);
   void* inner_ctx;
   const std::atomic<bool>* flag;
+
+  static bool hook(void* p) {
+    const auto& c = *static_cast<const PollChain*>(p);
+    if (c.flag->load(std::memory_order_relaxed)) return true;
+    return c.inner != nullptr && c.inner(c.inner_ctx);
+  }
 };
 
 Analysis run_kiter(const CsdfGraph& g, const AnalysisOptions& options, double deadline_ms,
@@ -60,11 +68,7 @@ Analysis run_kiter(const CsdfGraph& g, const AnalysisOptions& options, double de
   kiter.time_budget_ms = tighten_budget(kiter.time_budget_ms, deadline_ms);
   PollChain chain{options.kiter.poll, options.kiter.poll_ctx, cancel.flag()};
   if (chain.flag != nullptr) {
-    kiter.poll = +[](void* p) {
-      const auto& c = *static_cast<const PollChain*>(p);
-      if (c.flag->load(std::memory_order_relaxed)) return true;
-      return c.inner != nullptr && c.inner(c.inner_ctx);
-    };
+    kiter.poll = &PollChain::hook;
     kiter.poll_ctx = &chain;
   }
 
@@ -130,11 +134,20 @@ Analysis run_periodic(const CsdfGraph& g, const AnalysisOptions& options) {
   return a;
 }
 
-Analysis run_symbolic(const CsdfGraph& g, const AnalysisOptions& options, double deadline_ms) {
+Analysis run_symbolic(const CsdfGraph& g, const AnalysisOptions& options, double deadline_ms,
+                      const CancelToken& cancel) {
   Analysis a;
   const RepetitionVector rv = compute_repetition_vector(g);
   SimOptions sim = options.sim;
   sim.time_budget_ms = tighten_budget(sim.time_budget_ms, deadline_ms);
+  // The request's cancel flag is polled once per explored state (chained in
+  // front of any caller-supplied hook), so cancellation stops the
+  // exploration itself instead of waiting out the state budget.
+  PollChain chain{options.sim.poll, options.sim.poll_ctx, cancel.flag()};
+  if (chain.flag != nullptr) {
+    sim.poll = &PollChain::hook;
+    sim.poll_ctx = &chain;
+  }
   const SimResult r = symbolic_execution_throughput(g, rv, sim);
   std::ostringstream detail;
   detail << "states=" << r.states_explored;
@@ -154,6 +167,7 @@ Analysis run_symbolic(const CsdfGraph& g, const AnalysisOptions& options, double
       break;
     case SimStatus::Budget:
       a.outcome = Outcome::Budget;
+      if (cancel.cancelled()) detail << " (cancelled)";
       break;
   }
   a.detail = detail.str();
@@ -213,7 +227,7 @@ Analysis execute_request(const CsdfGraph& graph, Method method, const AnalysisOp
       a = run_periodic(prepared, options);
       break;
     case Method::SymbolicExecution:
-      a = run_symbolic(prepared, options, deadline_ms);
+      a = run_symbolic(prepared, options, deadline_ms, cancel);
       break;
     case Method::Expansion:
       a = run_expansion(prepared, options);

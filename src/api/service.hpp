@@ -28,7 +28,9 @@
 // achievable bound found so far as Quality::AchievableBound (matching
 // KIter's time_budget_ms semantics — the detail string says the budget
 // was hit), or Outcome::Budget when no round completed. For
-// SymbolicExecution the deadline tightens the simulator's time budget;
+// SymbolicExecution the deadline tightens the simulator's time budget and
+// the token is polled once per explored state inside the exploration loop
+// (SimOptions::poll), so cancellation stops a long state sweep mid-flight;
 // Periodic/Expansion check the token only before execution starts (both
 // are single-shot solves). A cancelled or expired request never aborts
 // the rest of a batch — every other request still runs to completion.

@@ -74,6 +74,147 @@ void init_constraint_nodes(const CsdfGraph& g, const RepetitionVector& rv,
   }
 }
 
+/// Poll bookkeeping shared across the buffers of one build or patch: the
+/// countdown spans buffer boundaries so the effective poll cadence is one
+/// check per `row_stride` producer rows regardless of buffer sizes.
+struct EmitState {
+  const ConstraintPoll* poll = nullptr;
+  i64 stride = 0;  // 0 = polling disabled
+  i64 rows_until_poll = 0;
+
+  explicit EmitState(const ConstraintPoll* p) : poll(p) {
+    if (poll != nullptr && poll->fn != nullptr) {
+      stride = std::max<i64>(poll->row_stride, 1);
+      rows_until_poll = stride;
+    }
+  }
+};
+
+/// Appends buffer `b`'s useful constraints to `cg` via the stride
+/// enumeration (see the header comment). Node layout (init_constraint_nodes
+/// for this `k`) must already be in place; arcs land at the end of the arc
+/// list, which is what keeps each buffer's arcs contiguous — the span
+/// structure the incremental engine records. Returns false iff the poll
+/// aborted mid-buffer (cg is then partial).
+bool emit_buffer_arcs(const CsdfGraph& g, const RepetitionVector& rv, const Buffer& b,
+                      const std::vector<i64>& k, ConstraintGraph& cg, EmitState& st) {
+  const TaskId t = b.src;
+  const TaskId t2 = b.dst;
+  const i64 kt = k[static_cast<std::size_t>(t)];
+  const i64 kt2 = k[static_cast<std::size_t>(t2)];
+  const std::int32_t phi = g.phases(t);
+  const std::int32_t phi2 = g.phases(t2);
+  const i128 i_dup = checked_mul(i128{kt}, i128{b.total_prod});    // ĩ_b
+  const i128 o_dup = checked_mul(i128{kt2}, i128{b.total_cons});   // õ_b
+  const i128 gcd_dup = gcd128(i_dup, o_dup);
+  // Denominator of H with the global lcm(K) factor folded out: q_t · i_b.
+  const i128 h_den = checked_mul(i128{rv.of(t)}, i128{b.total_prod});
+
+  // Residue structure of the consumer-iteration progression modulo γ.
+  const i128 o_mod = pmod(i128{b.total_cons}, gcd_dup);
+  const i128 d = gcd128(o_mod, gcd_dup);      // gcd(0, γ) == γ
+  const i128 j_stride = gcd_dup / d;          // solutions repeat every γ/d
+  // γ divides kt2·o_b, so γ/d divides kt2 — j_stride < 2^30 by the
+  // node-count guard and every (v/d)·inv product below fits easily.
+  const bool stride_usable = o_mod != 0;
+  const i128 inv =
+      stride_usable && j_stride > 1 ? mod_inverse((o_mod / d) % j_stride, j_stride) : 0;
+
+  const i64 rows = checked_mul(kt, i64{phi});
+  const std::int32_t first2 = cg.task_first_node[static_cast<std::size_t>(t2)];
+  for (i64 pt = 1; pt <= rows; ++pt) {
+    if (st.stride != 0 && --st.rows_until_poll <= 0) {
+      if (st.poll->should_stop()) return false;
+      st.rows_until_poll = st.stride;
+    }
+    const auto p = static_cast<std::int32_t>((pt - 1) % phi) + 1;
+    const i128 cum_in = checked_add(
+        checked_mul(i128{(pt - 1) / phi}, i128{b.total_prod}),
+        i128{b.cum_prod[static_cast<std::size_t>(p)]});
+    const i64 in_p = b.prod[static_cast<std::size_t>(p - 1)];
+    const i64 dur = g.duration(t, p);
+    const std::int32_t src_node =
+        cg.task_first_node[static_cast<std::size_t>(t)] + static_cast<std::int32_t>(pt - 1);
+    // Q̃(p̃,p̃') - 1 = cum_out + A with A independent of p̃'.
+    const i128 a_off =
+        checked_sub(checked_sub(i128{in_p}, cum_in), checked_add(i128{b.initial_tokens}, 1));
+
+    for (std::int32_t p2 = 1; p2 <= phi2; ++p2) {
+      const i64 out_p2 = b.cons[static_cast<std::size_t>(p2 - 1)];
+      const i64 m = std::min(in_p, out_p2);
+      if (m <= 0) continue;  // min rate 0: α > β for every iteration
+      const i128 base = checked_add(i128{b.cum_cons[static_cast<std::size_t>(p2)]}, a_off);
+      const i128 c = pmod(base, gcd_dup);
+      if (o_mod == 0 && c >= i128{m}) continue;  // constant residue, always dead
+      const i128 t_window = std::min(i128{m}, gcd_dup);
+      const std::int32_t dst0 = first2 + (p2 - 1);
+
+      // Candidate residues t in [0, t_window) with t ≡ c (mod d); the
+      // dense walk beats solving them when kt2 is the smaller count.
+      if (!stride_usable || i128{kt2} <= t_window / d + 1) {
+        i128 q1 = base;   // Q̃ - 1 for iteration j
+        i128 res = c;     // q1 mod γ
+        for (i64 j = 0; j < kt2; ++j) {
+          if (res < i128{m}) {
+            cg.graph.add_arc(src_node, dst0 + static_cast<std::int32_t>(j) * phi2, dur,
+                             Rational(-(q1 - res), h_den));
+          }
+          q1 = checked_add(q1, i128{b.total_cons});
+          res += o_mod;
+          if (res >= gcd_dup) res -= gcd_dup;
+        }
+      } else {
+        for (i128 tt = c % d; tt < t_window; tt += d) {
+          // Solve j·(o_b mod γ) ≡ tt - c (mod γ): j ≡ (v/d)·inv (mod γ/d).
+          const i128 v = pmod(tt - c, gcd_dup);
+          const i128 j0 = ((v / d) % j_stride) * inv % j_stride;
+          for (i128 j = j0; j < i128{kt2}; j += j_stride) {
+            const i128 q1 = checked_add(base, checked_mul(j, i128{b.total_cons}));
+            cg.graph.add_arc(src_node, dst0 + static_cast<std::int32_t>(j) * phi2, dur,
+                             Rational(-(q1 - tt), h_den));
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+/// Upper bound on the stride generator's work for one buffer at (kt, kt2):
+/// the O(rows·φ(t')) base scan plus the residue-structure bound on
+/// surviving arcs (see constraint_work_estimate).
+i128 buffer_stride_work(const Buffer& b, i64 kt, i64 kt2) {
+  const i128 gcd_dup = gcd128(checked_mul(i128{kt}, i128{b.total_prod}),
+                              checked_mul(i128{kt2}, i128{b.total_cons}));
+  const i128 o_mod = pmod(i128{b.total_cons}, gcd_dup);
+  const i128 d = gcd128(o_mod, gcd_dup);
+  i128 work = 0;
+  for (const i64 in_p : b.prod) {
+    for (const i64 out_p2 : b.cons) {
+      const i64 m = std::min(in_p, out_p2);
+      i128 per_row = 1;  // the base scan visits every (row, consumer phase)
+      if (m > 0) {
+        if (o_mod == 0) {
+          // Constant residue per row: every consumer iteration may
+          // survive, and without per-row residues there is no tighter
+          // sound bound — price the worst case.
+          per_row += i128{kt2};
+        } else {
+          // At most A+1 valid residues t (t ≡ c mod d in a window of
+          // min(m,γ)), each hit by exactly B = kt2·d/γ iterations
+          // (γ/d divides kt2), so (A+1)·B bounds the surviving arcs.
+          const i128 a_cnt = std::min(i128{m}, gcd_dup) / d;
+          const i128 b_cnt = checked_mul(i128{kt2}, d) / gcd_dup;
+          per_row += std::min(i128{kt2},
+                              checked_add(checked_mul(a_cnt, b_cnt), b_cnt));
+        }
+      }
+      work = checked_add(work, checked_mul(i128{kt}, per_row));
+    }
+  }
+  return work;
+}
+
 }  // namespace
 
 std::vector<TaskId> ConstraintGraph::tasks_on_circuit(
@@ -136,34 +277,32 @@ i128 constraint_pair_count(const CsdfGraph& g, const std::vector<i64>& k) {
 i128 constraint_work_estimate(const CsdfGraph& g, const std::vector<i64>& k) {
   i128 work = 0;
   for (const Buffer& b : g.buffers()) {
-    const i64 kt = k[static_cast<std::size_t>(b.src)];
-    const i64 kt2 = k[static_cast<std::size_t>(b.dst)];
-    const i128 gcd_dup = gcd128(checked_mul(i128{kt}, i128{b.total_prod}),
-                                checked_mul(i128{kt2}, i128{b.total_cons}));
-    const i128 o_mod = pmod(i128{b.total_cons}, gcd_dup);
-    const i128 d = gcd128(o_mod, gcd_dup);
-    for (const i64 in_p : b.prod) {
-      for (const i64 out_p2 : b.cons) {
-        const i64 m = std::min(in_p, out_p2);
-        i128 per_row = 1;  // the base scan visits every (row, consumer phase)
-        if (m > 0) {
-          if (o_mod == 0) {
-            // Constant residue per row: every consumer iteration may
-            // survive, and without per-row residues there is no tighter
-            // sound bound — price the worst case.
-            per_row += i128{kt2};
-          } else {
-            // At most A+1 valid residues t (t ≡ c mod d in a window of
-            // min(m,γ)), each hit by exactly B = kt2·d/γ iterations
-            // (γ/d divides kt2), so (A+1)·B bounds the surviving arcs.
-            const i128 a_cnt = std::min(i128{m}, gcd_dup) / d;
-            const i128 b_cnt = checked_mul(i128{kt2}, d) / gcd_dup;
-            per_row += std::min(i128{kt2},
-                                checked_add(checked_mul(a_cnt, b_cnt), b_cnt));
-          }
-        }
-        work = checked_add(work, checked_mul(i128{kt}, per_row));
-      }
+    work = checked_add(work, buffer_stride_work(b, k[static_cast<std::size_t>(b.src)],
+                                                k[static_cast<std::size_t>(b.dst)]));
+  }
+  return work;
+}
+
+i128 constraint_patch_work_estimate(const CsdfGraph& g, const std::vector<i64>& k_from,
+                                    const std::vector<i64>& k,
+                                    const ConstraintGraphCache& cache) {
+  const auto nbuf = static_cast<std::size_t>(g.buffer_count());
+  if (!cache.valid || k_from.size() != k.size() ||
+      k.size() != static_cast<std::size_t>(g.task_count()) ||
+      cache.buf_arc_begin.size() != nbuf + 1) {
+    return constraint_work_estimate(g, k);
+  }
+  i128 work = 0;
+  for (BufferId bid = 0; bid < g.buffer_count(); ++bid) {
+    const Buffer& b = g.buffer(bid);
+    const auto src = static_cast<std::size_t>(b.src);
+    const auto dst = static_cast<std::size_t>(b.dst);
+    if (k_from[src] == k[src] && k_from[dst] == k[dst]) {
+      // Untouched: priced at the exact copy cost of its recorded span.
+      work = checked_add(work, i128{cache.buf_arc_begin[static_cast<std::size_t>(bid) + 1] -
+                                    cache.buf_arc_begin[static_cast<std::size_t>(bid)]});
+    } else {
+      work = checked_add(work, buffer_stride_work(b, k[src], k[dst]));
     }
   }
   return work;
@@ -173,11 +312,6 @@ bool build_constraint_graph_into(const CsdfGraph& g, const RepetitionVector& rv,
                                  const std::vector<i64>& k, ConstraintGraph& cg,
                                  const ConstraintPoll* poll) {
   init_constraint_nodes(g, rv, k, cg);
-  // Poll budget: producer rows left until the next fn(ctx) call.
-  const i64 poll_stride =
-      (poll != nullptr && poll->fn != nullptr) ? std::max<i64>(poll->row_stride, 1) : 0;
-  i64 rows_until_poll = poll_stride;
-
   // Per buffer, emit exactly the useful (p̃, p̃') pairs. With
   // γ = gcd(ĩ_b, õ_b), Q̃ - 1 = cum_out(p̃') + A(p̃) and a pair is useful
   // iff (Q̃ - 1) mod γ < m = min(ĩn(p̃), õut(p̃')); then
@@ -186,90 +320,105 @@ bool build_constraint_graph_into(const CsdfGraph& g, const RepetitionVector& rv,
   // copies is an arithmetic progression base + j·o_b (j = 0..K_t'-1), so
   // the residues (j·o_b + base) mod γ cycle with stride structure: the
   // valid j form arithmetic progressions of stride γ/gcd(o_b, γ), solved
-  // by one modular inverse per buffer.
+  // by one modular inverse per buffer (emit_buffer_arcs).
+  EmitState st(poll);
   for (BufferId bid = 0; bid < g.buffer_count(); ++bid) {
-    const Buffer& b = g.buffer(bid);
-    const TaskId t = b.src;
-    const TaskId t2 = b.dst;
-    const i64 kt = k[static_cast<std::size_t>(t)];
-    const i64 kt2 = k[static_cast<std::size_t>(t2)];
-    const std::int32_t phi = g.phases(t);
-    const std::int32_t phi2 = g.phases(t2);
-    const i128 i_dup = checked_mul(i128{kt}, i128{b.total_prod});    // ĩ_b
-    const i128 o_dup = checked_mul(i128{kt2}, i128{b.total_cons});   // õ_b
-    const i128 gcd_dup = gcd128(i_dup, o_dup);
-    // Denominator of H with the global lcm(K) factor folded out: q_t · i_b.
-    const i128 h_den = checked_mul(i128{rv.of(t)}, i128{b.total_prod});
-
-    // Residue structure of the consumer-iteration progression modulo γ.
-    const i128 o_mod = pmod(i128{b.total_cons}, gcd_dup);
-    const i128 d = gcd128(o_mod, gcd_dup);      // gcd(0, γ) == γ
-    const i128 j_stride = gcd_dup / d;          // solutions repeat every γ/d
-    // γ divides kt2·o_b, so γ/d divides kt2 — j_stride < 2^30 by the
-    // node-count guard and every (v/d)·inv product below fits easily.
-    const bool stride_usable = o_mod != 0;
-    const i128 inv =
-        stride_usable && j_stride > 1 ? mod_inverse((o_mod / d) % j_stride, j_stride) : 0;
-
-    const i64 rows = checked_mul(kt, i64{phi});
-    const std::int32_t first2 = cg.task_first_node[static_cast<std::size_t>(t2)];
-    for (i64 pt = 1; pt <= rows; ++pt) {
-      if (poll_stride != 0 && --rows_until_poll <= 0) {
-        if (poll->should_stop()) return false;
-        rows_until_poll = poll_stride;
-      }
-      const auto p = static_cast<std::int32_t>((pt - 1) % phi) + 1;
-      const i128 cum_in = checked_add(
-          checked_mul(i128{(pt - 1) / phi}, i128{b.total_prod}),
-          i128{b.cum_prod[static_cast<std::size_t>(p)]});
-      const i64 in_p = b.prod[static_cast<std::size_t>(p - 1)];
-      const i64 dur = g.duration(t, p);
-      const std::int32_t src_node =
-          cg.task_first_node[static_cast<std::size_t>(t)] + static_cast<std::int32_t>(pt - 1);
-      // Q̃(p̃,p̃') - 1 = cum_out + A with A independent of p̃'.
-      const i128 a_off =
-          checked_sub(checked_sub(i128{in_p}, cum_in), checked_add(i128{b.initial_tokens}, 1));
-
-      for (std::int32_t p2 = 1; p2 <= phi2; ++p2) {
-        const i64 out_p2 = b.cons[static_cast<std::size_t>(p2 - 1)];
-        const i64 m = std::min(in_p, out_p2);
-        if (m <= 0) continue;  // min rate 0: α > β for every iteration
-        const i128 base = checked_add(i128{b.cum_cons[static_cast<std::size_t>(p2)]}, a_off);
-        const i128 c = pmod(base, gcd_dup);
-        if (o_mod == 0 && c >= i128{m}) continue;  // constant residue, always dead
-        const i128 t_window = std::min(i128{m}, gcd_dup);
-        const std::int32_t dst0 = first2 + (p2 - 1);
-
-        // Candidate residues t in [0, t_window) with t ≡ c (mod d); the
-        // dense walk beats solving them when kt2 is the smaller count.
-        if (!stride_usable || i128{kt2} <= t_window / d + 1) {
-          i128 q1 = base;   // Q̃ - 1 for iteration j
-          i128 res = c;     // q1 mod γ
-          for (i64 j = 0; j < kt2; ++j) {
-            if (res < i128{m}) {
-              cg.graph.add_arc(src_node, dst0 + static_cast<std::int32_t>(j) * phi2, dur,
-                               Rational(-(q1 - res), h_den));
-            }
-            q1 = checked_add(q1, i128{b.total_cons});
-            res += o_mod;
-            if (res >= gcd_dup) res -= gcd_dup;
-          }
-        } else {
-          for (i128 tt = c % d; tt < t_window; tt += d) {
-            // Solve j·(o_b mod γ) ≡ tt - c (mod γ): j ≡ (v/d)·inv (mod γ/d).
-            const i128 v = pmod(tt - c, gcd_dup);
-            const i128 j0 = ((v / d) % j_stride) * inv % j_stride;
-            for (i128 j = j0; j < i128{kt2}; j += j_stride) {
-              const i128 q1 = checked_add(base, checked_mul(j, i128{b.total_cons}));
-              cg.graph.add_arc(src_node, dst0 + static_cast<std::int32_t>(j) * phi2, dur,
-                               Rational(-(q1 - tt), h_den));
-            }
-          }
-        }
-      }
-    }
+    if (!emit_buffer_arcs(g, rv, g.buffer(bid), k, cg, st)) return false;
   }
   cg.graph.graph().finalize();
+  return true;
+}
+
+bool build_constraint_graph_incremental(const CsdfGraph& g, const RepetitionVector& rv,
+                                        const std::vector<i64>& k, ConstraintGraph& cg,
+                                        ConstraintGraphCache& cache, const ConstraintPoll* poll) {
+  const auto nbuf = static_cast<std::size_t>(g.buffer_count());
+  const auto ntasks = static_cast<std::size_t>(g.task_count());
+
+  // Diff the periodicity vectors. The patch path needs a valid span record
+  // for this graph shape and at least one buffer whose arcs survive.
+  bool patch = cache.valid && cg.k.size() == k.size() && k.size() == ntasks &&
+               cache.buf_arc_begin.size() == nbuf + 1;
+  if (patch) {
+    cache.task_touched.assign(ntasks, 0);
+    bool any_touched = false;
+    for (std::size_t t = 0; t < ntasks; ++t) {
+      if (cg.k[t] != k[t]) {
+        cache.task_touched[t] = 1;
+        any_touched = true;
+      }
+    }
+    if (!any_touched) return true;  // the graph already encodes `k`
+    bool any_untouched_buffer = false;
+    for (const Buffer& b : g.buffers()) {
+      if (cache.task_touched[static_cast<std::size_t>(b.src)] == 0 &&
+          cache.task_touched[static_cast<std::size_t>(b.dst)] == 0) {
+        any_untouched_buffer = true;
+        break;
+      }
+    }
+    patch = any_untouched_buffer;  // full-coverage round: patching buys nothing
+  }
+
+  if (!patch) {
+    // Cold start / fallback: a recorded full rebuild (the reference path,
+    // plus the per-buffer arc spans the next round will diff against).
+    cache.valid = false;  // cg is partial until the build completes
+    init_constraint_nodes(g, rv, k, cg);
+    cache.buf_arc_begin.resize(nbuf + 1);
+    EmitState st(poll);
+    for (BufferId bid = 0; bid < g.buffer_count(); ++bid) {
+      cache.buf_arc_begin[static_cast<std::size_t>(bid)] = cg.graph.arc_count();
+      if (!emit_buffer_arcs(g, rv, g.buffer(bid), k, cg, st)) return false;
+    }
+    cache.buf_arc_begin[nbuf] = cg.graph.arc_count();
+    cg.graph.graph().finalize();
+    cache.valid = true;
+    ++cache.rebuilt_rounds;
+    return true;
+  }
+
+  // Patch path: lay out the new node space in the scratch graph, then walk
+  // the buffers in id order — regenerate the touched ones, splice the rest
+  // over with the constant node-id shift their tasks' layout change
+  // induces. Buffer order is what the full build uses, so the result is
+  // arc-for-arc identical to a fresh build.
+  ConstraintGraph& scratch = cache.scratch;
+  init_constraint_nodes(g, rv, k, scratch);
+  cache.node_delta.resize(ntasks);
+  for (std::size_t t = 0; t < ntasks; ++t) {
+    cache.node_delta[t] = scratch.task_first_node[t] - cg.task_first_node[t];
+  }
+  cache.scratch_arc_begin.resize(nbuf + 1);
+  EmitState st(poll);
+  for (BufferId bid = 0; bid < g.buffer_count(); ++bid) {
+    const Buffer& b = g.buffer(bid);
+    cache.scratch_arc_begin[static_cast<std::size_t>(bid)] = scratch.graph.arc_count();
+    if (cache.task_touched[static_cast<std::size_t>(b.src)] != 0 ||
+        cache.task_touched[static_cast<std::size_t>(b.dst)] != 0) {
+      if (!emit_buffer_arcs(g, rv, b, k, scratch, st)) {
+        // cg still holds the previous round's intact graph, but it does not
+        // encode `k`: force the next build down the cold path.
+        cache.invalidate();
+        return false;
+      }
+    } else {
+      scratch.graph.append_arcs_shifted(
+          cg.graph, cache.buf_arc_begin[static_cast<std::size_t>(bid)],
+          cache.buf_arc_begin[static_cast<std::size_t>(bid) + 1],
+          cache.node_delta[static_cast<std::size_t>(b.src)],
+          cache.node_delta[static_cast<std::size_t>(b.dst)]);
+    }
+  }
+  cache.scratch_arc_begin[nbuf] = scratch.graph.arc_count();
+  scratch.graph.graph().finalize();
+
+  // Ping-pong: the patched scratch becomes the live graph; the old graph's
+  // storage becomes the next patch's splice target (capacity retained on
+  // both sides — warm patched rounds allocate nothing).
+  std::swap(cg, scratch);
+  cache.buf_arc_begin.swap(cache.scratch_arc_begin);
+  ++cache.patched_rounds;
   return true;
 }
 

@@ -88,6 +88,47 @@ struct ConstraintPoll {
   [[nodiscard]] bool should_stop() const { return fn != nullptr && fn(ctx); }
 };
 
+/// State of the incremental constraint-graph engine. The K-Iter round loop
+/// bumps K only for the tasks on the critical circuit, so between two
+/// consecutive rounds most buffers keep exactly the same arc payloads —
+/// only their endpoint node ids shift with the new node layout. The cache
+/// records, per buffer, the arc span it owns in the current graph (arcs are
+/// emitted in buffer-id order, so each buffer's arcs are contiguous), plus
+/// a ping-pong scratch graph that patches splice into: touched buffers
+/// (either endpoint's K changed) are regenerated through the stride
+/// enumerator, untouched spans are copied verbatim with a constant
+/// per-task node-id shift, and the two graphs swap. Both sides of the
+/// ping-pong retain their capacity, so warm patched rounds stay
+/// zero-allocation (the KIterWorkspace contract).
+///
+/// The cache describes one (graph, ConstraintGraph) pair: reusing the
+/// workspace for a different CsdfGraph requires invalidate() first
+/// (kiter_throughput does this per analysis), and any build that bypasses
+/// the cache invalidates it.
+struct ConstraintGraphCache {
+  /// True iff buf_arc_begin describes the current contents of the
+  /// companion ConstraintGraph (which then encodes the K to diff against).
+  bool valid = false;
+
+  /// buffer_count + 1 entries: buffer b's arcs occupy ids
+  /// [buf_arc_begin[b], buf_arc_begin[b+1]) of the companion graph.
+  std::vector<std::int32_t> buf_arc_begin;
+
+  /// Splice target; swapped with the companion graph after each patch.
+  ConstraintGraph scratch;
+  std::vector<std::int32_t> scratch_arc_begin;
+
+  /// Per-task scratch for one patch: first-node shift and touched flag.
+  std::vector<std::int32_t> node_delta;
+  std::vector<std::int8_t> task_touched;
+
+  /// Round counters for benchmarks and tests (never reset by invalidate).
+  i64 patched_rounds = 0;   ///< rounds served by the splice path
+  i64 rebuilt_rounds = 0;   ///< cold starts and full-rebuild fallbacks
+
+  void invalidate() noexcept { valid = false; }
+};
+
 /// Builds the constraint graph for periodicity vector `k` (one entry per
 /// task, each >= 1). `rv` must be the repetition vector of `g` (consistent).
 [[nodiscard]] ConstraintGraph build_constraint_graph(const CsdfGraph& g,
@@ -102,6 +143,22 @@ struct ConstraintPoll {
 bool build_constraint_graph_into(const CsdfGraph& g, const RepetitionVector& rv,
                                  const std::vector<i64>& k, ConstraintGraph& out,
                                  const ConstraintPoll* poll = nullptr);
+
+/// Incremental build: produces in `out` a graph arc-for-arc identical (same
+/// node ids, same arc ids, same payloads) to build_constraint_graph_into(g,
+/// rv, k, out), but when `cache` is valid and only a subset of tasks
+/// changed K since the graph `out` currently holds, only the buffers
+/// incident to those tasks are regenerated — every other buffer's arc span
+/// is spliced over with a constant node-id shift. Falls back to a recorded
+/// full rebuild on a cold cache or when no buffer survives untouched (the
+/// worst case: the critical circuit covered every task). Returns false iff
+/// `poll` aborted; the cache is then invalid and `out` must be rebuilt
+/// (after a mid-patch abort `out` still holds the previous round's intact
+/// graph, but it does not correspond to `k`).
+bool build_constraint_graph_incremental(const CsdfGraph& g, const RepetitionVector& rv,
+                                        const std::vector<i64>& k, ConstraintGraph& out,
+                                        ConstraintGraphCache& cache,
+                                        const ConstraintPoll* poll = nullptr);
 
 /// Brute-force O(rows·cols) reference generator (the pre-stride scan), kept
 /// for the equivalence tests and the bench_hotpath comparison. Produces the
@@ -128,5 +185,16 @@ void build_constraint_graph_reference_into(const CsdfGraph& g, const RepetitionV
 /// so the stride path's reach is not capped by the retired brute-force cost
 /// model, while staying sound against congruence-aligned worst cases.
 [[nodiscard]] i128 constraint_work_estimate(const CsdfGraph& g, const std::vector<i64>& k);
+
+/// Prices the round that patches the cached graph (currently encoding
+/// `k_from`) into `k`: touched buffers at the stride generator's work
+/// estimate, untouched buffers at their exact copy cost (the recorded arc
+/// span length). Falls back to constraint_work_estimate(g, k) when the
+/// cache is cold or the vectors are incomparable — so callers can always
+/// take min(pair count, full estimate, this) as the round's price.
+[[nodiscard]] i128 constraint_patch_work_estimate(const CsdfGraph& g,
+                                                  const std::vector<i64>& k_from,
+                                                  const std::vector<i64>& k,
+                                                  const ConstraintGraphCache& cache);
 
 }  // namespace kp

@@ -65,6 +65,10 @@ KIterResult kiter_throughput(const CsdfGraph& g, const RepetitionVector& rv,
   KIterResult result;
   Stopwatch clock;
 
+  // The workspace may hold another graph's constraint state from a previous
+  // analysis: the incremental cache must never diff across graphs.
+  ws.cache.invalidate();
+
   std::vector<i64> k(static_cast<std::size_t>(g.task_count()), 1);
 
   // Best achievable bound seen so far, for honest ResourceLimit reports.
@@ -117,6 +121,10 @@ KIterResult kiter_throughput(const CsdfGraph& g, const RepetitionVector& rv,
     return evaluate_k_periodic(g, rv, for_k, eval_options).schedule;
   };
 
+  // `rounds_done` is always the number of COMPLETED rounds: an abort mid
+  // round — whether the full-build or the incremental-patch path was
+  // generating — reports the same count the between-rounds budget check
+  // would, so KIterResult::rounds == trace.size() on every exit.
   auto finish_resource_limit = [&](int rounds_done) {
     result.status = ThroughputStatus::ResourceLimit;
     result.cancelled = poll_state.cancelled;
@@ -132,18 +140,27 @@ KIterResult kiter_throughput(const CsdfGraph& g, const RepetitionVector& rv,
 
   for (int round = 0; round < options.max_rounds; ++round) {
     // ---- resource guards ---------------------------------------------------
-    // Price the round at the cheaper of the two generators' cost models:
-    // the stride generator's work estimate is far below the brute-force
-    // pair count on gcd-structured graphs, and those rounds should run.
-    const i128 cost =
-        std::min(constraint_pair_count(g, k), constraint_work_estimate(g, k));
+    // Price the round at the cheapest applicable cost model: brute-force
+    // pair count, stride-generator work estimate, and — when the previous
+    // round's graph is cached — the cost of patching it, which on rounds
+    // whose critical circuit touched few tasks is far below a full build.
+    i128 cost = std::min(constraint_pair_count(g, k), constraint_work_estimate(g, k));
+    if (options.incremental && ws.cache.valid) {
+      // Only a warm cache changes the price; the cold fallback inside the
+      // patch estimate would just recompute the full estimate above.
+      cost = std::min(cost,
+                      constraint_patch_work_estimate(g, ws.constraints.k, k, ws.cache));
+    }
     if (cost > options.max_constraint_pairs || out_of_budget()) {
       return finish_resource_limit(round);
     }
 
     // ---- evaluate this K (allocation-free once the workspace is warm) ------
-    const KEvalStatus status = evaluate_k_periodic_round(g, rv, k, options.mcrp, ws,
-                                                         want_poll ? &round_poll : nullptr);
+    const ConstraintPoll* poll = want_poll ? &round_poll : nullptr;
+    const KEvalStatus status =
+        options.incremental
+            ? evaluate_k_periodic_round_incremental(g, rv, k, options.mcrp, ws, poll)
+            : evaluate_k_periodic_round(g, rv, k, options.mcrp, ws, poll);
     if (status == KEvalStatus::Aborted) return finish_resource_limit(round);
     result.rounds = round + 1;
 

@@ -65,9 +65,24 @@ struct KIterOptions {
   McrpOptions mcrp{};
   KUpdatePolicy policy = KUpdatePolicy::PaperLcm;
 
-  /// Refuse to run a round whose estimated generation cost — the cheaper of
-  /// the candidate (p̃,p̃') pair count and the stride generator's work
-  /// estimate (see constraint_work_estimate) — exceeds this (the
+  /// Route constraint generation through the workspace's incremental engine
+  /// (core/constraints.hpp, ConstraintGraphCache): after the cold first
+  /// round, each round regenerates only the buffers incident to tasks whose
+  /// K grew and splices every other buffer's arcs over from the previous
+  /// round's graph. The patched graph is arc-for-arc identical to a fresh
+  /// build, so every round that runs produces bit-identical results either
+  /// way. One admission difference exists by design: a warm cache also
+  /// prices rounds at the (often far cheaper) patch cost, so a
+  /// max_constraint_pairs cap that a full build would trip may admit the
+  /// patched round — extended reach, same values on the common path. Turn
+  /// this off to benchmark or to cross-check the full-rebuild path.
+  bool incremental = true;
+
+  /// Refuse to run a round whose estimated generation cost — the cheapest
+  /// of the candidate (p̃,p̃') pair count, the stride generator's work
+  /// estimate (constraint_work_estimate), and, when `incremental` has a
+  /// warm cache, the diff-and-patch cost (constraint_patch_work_estimate,
+  /// typically far below both on small-circuit rounds) — exceeds this (the
   /// graph2/graph3-style blowups); the run then returns ResourceLimit with
   /// the best achievable bound so far. Note: a structural ResourceLimit
   /// exit (this guard or max_rounds) with a feasible bound re-evaluates the
@@ -112,6 +127,12 @@ struct KIterResult {
   bool cancelled = false;
 
   std::vector<i64> k;  // final periodicity vector
+
+  /// Number of COMPLETED evaluation rounds (graph built or patched AND
+  /// solved). A round aborted mid-generation — whether on the full-build
+  /// path or the incremental patch path — is not counted, and neither is
+  /// the schedule re-evaluation a structural ResourceLimit exit performs;
+  /// with record_trace, rounds == trace.size() on every exit path.
   int rounds = 0;
   std::vector<KIterRound> trace;
 

@@ -2,12 +2,10 @@
 
 namespace kp {
 
-KEvalStatus evaluate_k_periodic_round(const CsdfGraph& g, const RepetitionVector& rv,
-                                      const std::vector<i64>& k, const McrpOptions& mcrp,
-                                      KIterWorkspace& ws, const ConstraintPoll* poll) {
-  if (!build_constraint_graph_into(g, rv, k, ws.constraints, poll)) {
-    return KEvalStatus::Aborted;
-  }
+namespace {
+
+/// Shared round tail: MCRP solve (no potentials) + critical-task refresh.
+KEvalStatus solve_round(const McrpOptions& mcrp, KIterWorkspace& ws) {
   McrpOptions options = mcrp;
   options.compute_potentials = false;
   solve_max_cycle_ratio(ws.constraints.graph, options, ws.mcrp, ws.solved);
@@ -17,6 +15,30 @@ KEvalStatus evaluate_k_periodic_round(const CsdfGraph& g, const RepetitionVector
   return (ws.solved.status == McrpStatus::NoCycle || ws.solved.ratio.is_zero())
              ? KEvalStatus::Unbounded
              : KEvalStatus::Feasible;
+}
+
+}  // namespace
+
+KEvalStatus evaluate_k_periodic_round(const CsdfGraph& g, const RepetitionVector& rv,
+                                      const std::vector<i64>& k, const McrpOptions& mcrp,
+                                      KIterWorkspace& ws, const ConstraintPoll* poll) {
+  // This build bypasses the span bookkeeping, so the incremental cache no
+  // longer describes ws.constraints.
+  ws.cache.invalidate();
+  if (!build_constraint_graph_into(g, rv, k, ws.constraints, poll)) {
+    return KEvalStatus::Aborted;
+  }
+  return solve_round(mcrp, ws);
+}
+
+KEvalStatus evaluate_k_periodic_round_incremental(const CsdfGraph& g, const RepetitionVector& rv,
+                                                  const std::vector<i64>& k,
+                                                  const McrpOptions& mcrp, KIterWorkspace& ws,
+                                                  const ConstraintPoll* poll) {
+  if (!build_constraint_graph_incremental(g, rv, k, ws.constraints, ws.cache, poll)) {
+    return KEvalStatus::Aborted;
+  }
+  return solve_round(mcrp, ws);
 }
 
 KPeriodicSchedule schedule_from_potentials(const CsdfGraph& g, const RepetitionVector& rv,

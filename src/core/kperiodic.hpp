@@ -90,8 +90,15 @@ struct KEvalOptions {
 /// all rebuilt in place each round, so after the first (warming) round a
 /// round of no larger size performs zero heap allocations. One workspace
 /// serves any number of consecutive analyses (see kiter_throughput).
+///
+/// `cache` is the incremental constraint-graph engine's state over
+/// `constraints` (per-buffer arc spans + the ping-pong splice target). It
+/// is owned here so warm patched rounds stay zero-allocation; it describes
+/// one CsdfGraph at a time, and kiter_throughput invalidates it at the
+/// start of every analysis.
 struct KIterWorkspace {
   ConstraintGraph constraints;
+  ConstraintGraphCache cache;
   McrpScratch mcrp;
   McrpResult solved;
   std::vector<TaskId> critical_tasks;
@@ -109,6 +116,21 @@ struct KIterWorkspace {
 KEvalStatus evaluate_k_periodic_round(const CsdfGraph& g, const RepetitionVector& rv,
                                       const std::vector<i64>& k, const McrpOptions& mcrp,
                                       KIterWorkspace& ws, const ConstraintPoll* poll = nullptr);
+
+/// Incremental variant: constraint generation routes through ws.cache
+/// (build_constraint_graph_incremental) — when the cache is warm and only a
+/// subset of tasks changed K since the previous round, the graph is patched
+/// by splicing instead of fully regenerated. The patched graph is
+/// arc-for-arc identical to a fresh build, so every downstream result
+/// (period, critical circuit, schedule) is bit-identical to the
+/// non-incremental round. Consecutive rounds on ONE CsdfGraph may share the
+/// warm cache; before evaluating a different graph through the same
+/// workspace, ws.cache.invalidate() first (kiter_throughput does). On
+/// Aborted the cache is invalid and ws.constraints must not be read.
+KEvalStatus evaluate_k_periodic_round_incremental(const CsdfGraph& g, const RepetitionVector& rv,
+                                                  const std::vector<i64>& k,
+                                                  const McrpOptions& mcrp, KIterWorkspace& ws,
+                                                  const ConstraintPoll* poll = nullptr);
 
 /// Assembles the complete schedule from already-solved node potentials.
 /// Shared by evaluate_k_periodic and the K-iteration finale (which computes

@@ -4,7 +4,10 @@
 // with key v occupy ids[offsets[v] .. offsets[v+1]), in input order. Used by
 // Digraph's adjacency and by the solver-local core CSRs (howard.cpp,
 // cycle_ratio.cpp). Only assigns into the caller's retained buffers, so warm
-// rebuilds of no larger size perform zero heap allocations.
+// rebuilds of no larger size perform zero heap allocations. The incremental
+// constraint engine keeps its arc list in buffer-order segments and re-runs
+// this one-pass build after each splice — segmented or freshly generated
+// input indexes identically, since only item order matters.
 #pragma once
 
 #include <cstdint>

@@ -73,6 +73,28 @@ class Digraph {
     return id;
   }
 
+  /// Splice primitive for the incremental constraint engine: bulk-appends
+  /// `from`'s arcs [lo, hi) with every endpoint shifted by (dsrc, ddst) —
+  /// the constant per-span remap of a node-layout change. Equivalent to
+  /// add_arc on each shifted arc but a single grow + tight copy loop;
+  /// endpoints are asserted (not checked) because callers derive the shifts
+  /// from an already-validated node layout. `from` must be a different
+  /// graph (the incremental engine splices the old graph into a scratch).
+  void append_arcs_shifted(const Digraph& from, std::int32_t lo, std::int32_t hi,
+                           std::int32_t dsrc, std::int32_t ddst) {
+    assert(&from != this);
+    assert(0 <= lo && lo <= hi && hi <= from.arc_count());
+    const auto base = arcs_.size();
+    arcs_.resize(base + static_cast<std::size_t>(hi - lo));
+    for (std::int32_t i = lo; i < hi; ++i) {
+      const Arc& a = from.arcs_[static_cast<std::size_t>(i)];
+      assert(a.src + dsrc >= 0 && a.src + dsrc < nodes_);
+      assert(a.dst + ddst >= 0 && a.dst + ddst < nodes_);
+      arcs_[base + static_cast<std::size_t>(i - lo)] = Arc{a.src + dsrc, a.dst + ddst};
+    }
+    csr_valid_ = false;
+  }
+
   [[nodiscard]] std::int32_t node_count() const noexcept { return nodes_; }
   [[nodiscard]] std::int32_t arc_count() const noexcept {
     return static_cast<std::int32_t>(arcs_.size());

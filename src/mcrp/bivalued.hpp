@@ -14,6 +14,7 @@
 //     "N/S" rows). Solvers must detect and report these.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -43,6 +44,20 @@ class BivaluedGraph {
     cost_.push_back(cost);
     time_.push_back(std::move(time));
     return id;
+  }
+
+  /// Splice primitive (see Digraph::append_arcs_shifted): appends `from`'s
+  /// arcs [lo, hi) with endpoints shifted by (dsrc, ddst); costs and times
+  /// copy verbatim — a constraint arc's payload depends only on its own
+  /// buffer's rates and the two endpoint tasks' K entries, which is what
+  /// makes the incremental engine's untouched-span reuse sound. `from`
+  /// must be a different graph (the engine splices old -> scratch).
+  void append_arcs_shifted(const BivaluedGraph& from, std::int32_t lo, std::int32_t hi,
+                           std::int32_t dsrc, std::int32_t ddst) {
+    assert(&from != this);
+    g_.append_arcs_shifted(from.g_, lo, hi, dsrc, ddst);
+    cost_.insert(cost_.end(), from.cost_.begin() + lo, from.cost_.begin() + hi);
+    time_.insert(time_.end(), from.time_.begin() + lo, from.time_.begin() + hi);
   }
 
   [[nodiscard]] const Digraph& graph() const noexcept { return g_; }

@@ -200,8 +200,13 @@ ComponentOutcome run_component(const CsdfGraph& sub, const RepetitionVector& loc
   snapshot();
 
   for (;;) {
+    // One budget/cancel check per explored state: the state hash + record
+    // dominate each iteration, so the poll (an atomic load for the service
+    // layer's CancelToken) costs nothing measurable while bounding the
+    // cancellation latency to one state expansion.
     if (static_cast<i64>(records.size()) > options.max_states ||
-        (options.time_budget_ms >= 0.0 && clock.elapsed_ms() > options.time_budget_ms)) {
+        (options.time_budget_ms >= 0.0 && clock.elapsed_ms() > options.time_budget_ms) ||
+        (options.poll != nullptr && options.poll(options.poll_ctx))) {
       out.status = SimStatus::Budget;
       out.states = static_cast<i64>(records.size());
       return out;
@@ -254,6 +259,13 @@ SimResult symbolic_execution_throughput(const CsdfGraph& g, const RepetitionVect
   Rational period{0};
 
   for (const auto& tasks : groups) {
+    // Between components: an expired budget or a fired cancel hook stops
+    // the decomposition before the next subgraph is even built.
+    if ((options.time_budget_ms >= 0.0 && clock.elapsed_ms() > options.time_budget_ms) ||
+        (options.poll != nullptr && options.poll(options.poll_ctx))) {
+      saw_budget = true;
+      break;
+    }
     // Build the induced subgraph.
     CsdfGraph sub(g.name() + "/scc");
     std::vector<TaskId> local(static_cast<std::size_t>(g.task_count()), -1);

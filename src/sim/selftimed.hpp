@@ -43,6 +43,15 @@ struct SimOptions {
   double time_budget_ms = -1.0;
   /// Guard against zero-delay livelock (firings at one instant).
   i64 max_firings_per_instant = 10000000;
+
+  /// Cooperative cancellation hook, polled once per explored state (and
+  /// between SCC components) alongside the time budget — a true return
+  /// stops the exploration with SimStatus::Budget. Function-pointer +
+  /// context form, matching ConstraintPoll / KIterOptions, so the service
+  /// layer can thread a CancelToken in without allocation; fn == nullptr
+  /// disables polling.
+  bool (*poll)(void* ctx) = nullptr;
+  void* poll_ctx = nullptr;
 };
 
 struct SimResult {

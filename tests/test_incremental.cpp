@@ -1,0 +1,363 @@
+// The incremental constraint-graph engine (core/constraints.hpp,
+// ConstraintGraphCache):
+//
+//   1. Round-by-round equivalence on 100+ random CSDFGs driven through the
+//      real K-Iter K sequences: after every round the patched graph is
+//      byte-identical (same arc ids, payloads, node maps) to a fresh stride
+//      build, arc-multiset-identical to the brute-force reference build,
+//      and its MCRP value matches the reference solve.
+//   2. The worst case — a critical circuit covering every task — falls back
+//      to a recorded full rebuild and still matches.
+//   3. kiter_throughput with incremental on is bit-identical to the
+//      non-incremental path (status, period, K, rounds, schedule).
+//   4. A warm patched round performs zero heap allocations (the
+//      KIterWorkspace contract extends to the ping-pong splice target).
+//   5. KIterResult::rounds counts completed rounds only, identically on
+//      mid-build and mid-patch aborts (== trace.size()).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <tuple>
+#include <vector>
+
+#include "core/constraints.hpp"
+#include "core/kiter.hpp"
+#include "core/kperiodic.hpp"
+#include "gen/csdf_apps.hpp"
+#include "gen/random_csdf.hpp"
+#include "mcrp/cycle_ratio.hpp"
+#include "model/repetition.hpp"
+
+// ---- allocation-counting hook (see test_hotpath.cpp) ------------------------
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t n) {
+  ++g_alloc_count;
+  if (void* p = std::malloc(n == 0 ? 1 : n)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_alloc(std::size_t n, std::align_val_t al) {
+  ++g_alloc_count;
+  void* p = nullptr;
+  if (posix_memalign(&p, std::max(static_cast<std::size_t>(al), sizeof(void*)),
+                     n == 0 ? 1 : n) == 0) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, std::align_val_t al) { return counted_alloc(n, al); }
+void* operator new[](std::size_t n, std::align_val_t al) { return counted_alloc(n, al); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace kp {
+namespace {
+
+using ArcTuple = std::tuple<std::int32_t, std::int32_t, i64, Rational>;
+
+/// Sorted (src, dst, cost, time) tuples — the arc multiset.
+std::vector<ArcTuple> canonical_arcs(const ConstraintGraph& cg) {
+  std::vector<ArcTuple> out;
+  out.reserve(static_cast<std::size_t>(cg.graph.arc_count()));
+  for (std::int32_t a = 0; a < cg.graph.arc_count(); ++a) {
+    const auto& arc = cg.graph.graph().arc(a);
+    out.emplace_back(arc.src, arc.dst, cg.graph.cost(a), cg.graph.time(a));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// The patched graph must be arc-FOR-arc identical to a fresh stride build:
+/// same arc ids in the same order with the same payloads, and the same node
+/// maps — the strongest form of the equivalence the engine promises.
+void expect_identical(const ConstraintGraph& patched, const ConstraintGraph& fresh,
+                      const std::string& context) {
+  ASSERT_EQ(patched.graph.node_count(), fresh.graph.node_count()) << context;
+  ASSERT_EQ(patched.graph.arc_count(), fresh.graph.arc_count()) << context;
+  EXPECT_EQ(patched.k, fresh.k) << context;
+  EXPECT_EQ(patched.task_first_node, fresh.task_first_node) << context;
+  EXPECT_EQ(patched.node_task, fresh.node_task) << context;
+  EXPECT_EQ(patched.node_phase, fresh.node_phase) << context;
+  EXPECT_EQ(patched.node_iter, fresh.node_iter) << context;
+  for (std::int32_t a = 0; a < fresh.graph.arc_count(); ++a) {
+    const auto& pa = patched.graph.graph().arc(a);
+    const auto& fa = fresh.graph.graph().arc(a);
+    ASSERT_TRUE(pa.src == fa.src && pa.dst == fa.dst &&
+                patched.graph.cost(a) == fresh.graph.cost(a) &&
+                patched.graph.time(a) == fresh.graph.time(a))
+        << context << " arc " << a;
+  }
+}
+
+RandomCsdfOptions small_graphs() {
+  RandomCsdfOptions options;
+  options.min_tasks = 2;
+  options.max_tasks = 8;
+  options.max_phases = 3;
+  options.max_q = 8;
+  return options;
+}
+
+// ---- 1. round-by-round equivalence on real K-Iter sequences ----------------
+
+TEST(Incremental, RandomizedRoundByRoundEquivalence) {
+  KIterWorkspace ws;  // shared across graphs: also exercises invalidation
+  i64 total_patched = 0;
+  i64 total_rebuilt = 0;
+  int checked = 0;
+  for (u64 seed = 1; checked < 110; ++seed) {
+    Rng rng(seed);
+    const CsdfGraph g = random_csdf(rng, small_graphs());
+    const RepetitionVector rv = compute_repetition_vector(g);
+    ASSERT_TRUE(rv.consistent);
+
+    // The real K sequence this graph goes through, from the full-rebuild
+    // path (ground truth, no cache involved).
+    KIterOptions trace_options;
+    trace_options.incremental = false;
+    trace_options.record_trace = true;
+    const KIterResult traced = kiter_throughput(g, rv, trace_options);
+    if (traced.trace.empty()) continue;
+
+    ws.cache.invalidate();  // new graph through the shared workspace
+    const i64 patched_before = ws.cache.patched_rounds;
+    const i64 rebuilt_before = ws.cache.rebuilt_rounds;
+    for (std::size_t round = 0; round < traced.trace.size(); ++round) {
+      const std::vector<i64>& k = traced.trace[round].k;
+      const KEvalStatus status =
+          evaluate_k_periodic_round_incremental(g, rv, k, McrpOptions{}, ws);
+      ASSERT_NE(status, KEvalStatus::Aborted);
+
+      const std::string context =
+          "seed " + std::to_string(seed) + " round " + std::to_string(round);
+      const ConstraintGraph fresh = build_constraint_graph(g, rv, k);
+      expect_identical(ws.constraints, fresh, context);
+
+      const ConstraintGraph reference = build_constraint_graph_reference(g, rv, k);
+      EXPECT_EQ(canonical_arcs(ws.constraints), canonical_arcs(reference)) << context;
+
+      McrpOptions mcrp;
+      mcrp.compute_potentials = false;
+      const McrpResult ref_solved = solve_max_cycle_ratio(reference.graph, mcrp);
+      EXPECT_EQ(ws.solved.status, ref_solved.status) << context;
+      if (ref_solved.status == McrpStatus::Optimal) {
+        EXPECT_EQ(ws.solved.ratio, ref_solved.ratio) << context;
+      }
+    }
+    total_patched += ws.cache.patched_rounds - patched_before;
+    total_rebuilt += ws.cache.rebuilt_rounds - rebuilt_before;
+    ++checked;
+  }
+  // The suite must exercise the splice path, not keep falling back.
+  EXPECT_GT(total_patched, 0);
+  EXPECT_GT(total_rebuilt, 0);
+}
+
+// ---- 2. worst case: every task on the critical circuit ---------------------
+
+TEST(Incremental, FullCoverageRoundFallsBackToRebuildAndMatches) {
+  // Two tasks in one cycle: any K update touches both, so every buffer is
+  // touched and the patch degenerates to a recorded full rebuild.
+  CsdfGraph g;
+  const TaskId a = g.add_task("a", std::vector<i64>{2, 1});
+  const TaskId b = g.add_task("b", 3);
+  g.add_buffer("ab", a, b, std::vector<i64>{2, 1}, std::vector<i64>{1}, 0);
+  g.add_buffer("ba", b, a, std::vector<i64>{1}, std::vector<i64>{1, 2}, 3);
+  const RepetitionVector rv = compute_repetition_vector(g);
+  ASSERT_TRUE(rv.consistent);
+
+  KIterWorkspace ws;
+  const std::vector<std::vector<i64>> ks = {{1, 1}, {2, 3}, {4, 9}, {8, 9}};
+  for (std::size_t round = 0; round < ks.size(); ++round) {
+    const i64 rebuilt_before = ws.cache.rebuilt_rounds;
+    const KEvalStatus status =
+        evaluate_k_periodic_round_incremental(g, rv, ks[round], McrpOptions{}, ws);
+    ASSERT_NE(status, KEvalStatus::Aborted);
+    const std::string context = "round " + std::to_string(round);
+    expect_identical(ws.constraints, build_constraint_graph(g, rv, ks[round]), context);
+    EXPECT_EQ(canonical_arcs(ws.constraints),
+              canonical_arcs(build_constraint_graph_reference(g, rv, ks[round])))
+        << context;
+    if (round > 0) {
+      // Both K entries changed: no buffer survives, so this must have been
+      // a full rebuild, and the cache must be valid again afterwards.
+      EXPECT_EQ(ws.cache.rebuilt_rounds, rebuilt_before + 1) << context;
+    }
+  }
+  EXPECT_EQ(ws.cache.patched_rounds, 0);
+}
+
+TEST(Incremental, PartialCoverageUsesThePatchPath) {
+  // gcd_ring: bumping only task b's K leaves buffers ca and sc untouched.
+  const CsdfGraph g = gcd_ring(12);
+  const RepetitionVector rv = compute_repetition_vector(g);
+  ASSERT_TRUE(rv.consistent);
+
+  KIterWorkspace ws;
+  ASSERT_NE(evaluate_k_periodic_round_incremental(g, rv, {1, 3, 4}, McrpOptions{}, ws),
+            KEvalStatus::Aborted);
+  ASSERT_NE(evaluate_k_periodic_round_incremental(g, rv, {1, 6, 4}, McrpOptions{}, ws),
+            KEvalStatus::Aborted);
+  EXPECT_EQ(ws.cache.patched_rounds, 1);
+  expect_identical(ws.constraints, build_constraint_graph(g, rv, {1, 6, 4}), "patched");
+}
+
+// ---- 3. K-Iter results bit-identical with and without the engine -----------
+
+TEST(Incremental, KIterMatchesNonIncrementalOnRandomGraphs) {
+  KIterWorkspace ws_inc;
+  KIterWorkspace ws_full;
+  int checked = 0;
+  for (u64 seed = 100; checked < 60; ++seed) {
+    Rng rng(seed);
+    const CsdfGraph g = random_csdf(rng, small_graphs());
+    const RepetitionVector rv = compute_repetition_vector(g);
+    ASSERT_TRUE(rv.consistent);
+
+    KIterOptions inc;
+    inc.incremental = true;
+    KIterOptions full;
+    full.incremental = false;
+    const KIterResult a = kiter_throughput(g, rv, inc, ws_inc);
+    const KIterResult b = kiter_throughput(g, rv, full, ws_full);
+    EXPECT_EQ(a.status, b.status) << "seed " << seed;
+    EXPECT_EQ(a.period, b.period) << "seed " << seed;
+    EXPECT_EQ(a.throughput, b.throughput) << "seed " << seed;
+    EXPECT_EQ(a.k, b.k) << "seed " << seed;
+    EXPECT_EQ(a.rounds, b.rounds) << "seed " << seed;
+    EXPECT_EQ(a.critical_tasks, b.critical_tasks) << "seed " << seed;
+    EXPECT_EQ(a.schedule.starts, b.schedule.starts) << "seed " << seed;
+    EXPECT_EQ(a.schedule.task_periods, b.schedule.task_periods) << "seed " << seed;
+    ++checked;
+  }
+}
+
+TEST(Incremental, DeadlockAndUnboundedMatchToo) {
+  Rng rng(42);
+  RandomCsdfOptions options = small_graphs();
+  options.starve_one_cycle = true;  // deadlock-heavy population
+  for (int round = 0; round < 25; ++round) {
+    const CsdfGraph g = random_csdf(rng, options);
+    const RepetitionVector rv = compute_repetition_vector(g);
+    ASSERT_TRUE(rv.consistent);
+    KIterOptions inc;
+    inc.incremental = true;
+    KIterOptions full;
+    full.incremental = false;
+    const KIterResult a = kiter_throughput(g, rv, inc);
+    const KIterResult b = kiter_throughput(g, rv, full);
+    EXPECT_EQ(a.status, b.status) << "round " << round;
+    EXPECT_EQ(a.period, b.period) << "round " << round;
+    EXPECT_EQ(a.k, b.k) << "round " << round;
+    EXPECT_EQ(a.rounds, b.rounds) << "round " << round;
+  }
+}
+
+// ---- 4. zero allocations on warm patched rounds ----------------------------
+
+TEST(Incremental, WarmPatchedRoundDoesNotAllocate) {
+  const CsdfGraph g = gcd_ring(32);
+  const RepetitionVector rv = compute_repetition_vector(g);
+  ASSERT_TRUE(rv.consistent);
+  // Only task b's K flips between the two vectors, so every round after the
+  // first is a patch. Four warm-up rounds fill both sides of the ping-pong
+  // (each side serves every other round) at both sizes.
+  const std::vector<i64> ka{1, 16, 32};
+  const std::vector<i64> kb{1, 32, 32};
+  const McrpOptions mcrp;
+
+  KIterWorkspace ws;
+  (void)evaluate_k_periodic_round_incremental(g, rv, ka, mcrp, ws);
+  (void)evaluate_k_periodic_round_incremental(g, rv, kb, mcrp, ws);
+  (void)evaluate_k_periodic_round_incremental(g, rv, ka, mcrp, ws);
+  (void)evaluate_k_periodic_round_incremental(g, rv, kb, mcrp, ws);
+  ASSERT_GE(ws.cache.patched_rounds, 3);
+
+  const std::uint64_t before = g_alloc_count.load();
+  const KEvalStatus sa = evaluate_k_periodic_round_incremental(g, rv, ka, mcrp, ws);
+  const KEvalStatus sb = evaluate_k_periodic_round_incremental(g, rv, kb, mcrp, ws);
+  const std::uint64_t after = g_alloc_count.load();
+
+  EXPECT_EQ(sa, KEvalStatus::Feasible);
+  EXPECT_EQ(sb, KEvalStatus::Feasible);
+  EXPECT_EQ(after - before, 0u) << "a warm patch+solve round must not touch the heap";
+}
+
+// ---- 5. rounds accounting across abort paths (mid-build == mid-patch) ------
+
+TEST(Incremental, AbortedRoundIsNeverCountedOnEitherPath) {
+  // Fire the cancel hook at every possible poll index and check, for both
+  // generation paths, that KIterResult::rounds equals the number of rounds
+  // that actually completed (== trace.size()).
+  const CsdfGraph g = gcd_ring(24);
+  const RepetitionVector rv = compute_repetition_vector(g);
+  ASSERT_TRUE(rv.consistent);
+
+  struct FireAt {
+    i64 polls_left;
+    static bool hook(void* ctx) { return --static_cast<FireAt*>(ctx)->polls_left < 0; }
+  };
+
+  for (const bool incremental : {false, true}) {
+    // An unbounded run to learn how many polls a full run makes.
+    FireAt probe{1 << 30};
+    KIterOptions options;
+    options.incremental = incremental;
+    options.record_trace = true;
+    options.poll = &FireAt::hook;
+    options.poll_ctx = &probe;
+    options.poll_row_stride = 1;  // poll every producer row: max abort points
+    const KIterResult complete = kiter_throughput(g, rv, options);
+    ASSERT_NE(complete.status, ThroughputStatus::ResourceLimit);
+    const i64 total_polls = (1 << 30) - probe.polls_left;
+    ASSERT_GT(total_polls, 2);
+
+    for (i64 fire = 0; fire < total_polls; ++fire) {
+      FireAt state{fire};
+      options.poll_ctx = &state;
+      const KIterResult r = kiter_throughput(g, rv, options);
+      ASSERT_EQ(r.status, ThroughputStatus::ResourceLimit)
+          << "incremental=" << incremental << " fire=" << fire;
+      EXPECT_TRUE(r.cancelled);
+      EXPECT_EQ(r.rounds, static_cast<int>(r.trace.size()))
+          << "incremental=" << incremental << " fire=" << fire;
+      EXPECT_LE(r.rounds, complete.rounds);
+    }
+  }
+}
+
+// ---- workspace reuse across graphs (cache must re-key) ---------------------
+
+TEST(Incremental, WorkspaceReuseAcrossDifferentGraphsMatchesFreshRuns) {
+  KIterWorkspace shared;
+  Rng rng(7);
+  for (int round = 0; round < 20; ++round) {
+    const CsdfGraph g = random_csdf(rng, small_graphs());
+    const RepetitionVector rv = compute_repetition_vector(g);
+    ASSERT_TRUE(rv.consistent);
+    const KIterResult with_shared = kiter_throughput(g, rv, KIterOptions{}, shared);
+    const KIterResult fresh = kiter_throughput(g, rv, KIterOptions{});
+    EXPECT_EQ(with_shared.status, fresh.status) << "round " << round;
+    EXPECT_EQ(with_shared.period, fresh.period) << "round " << round;
+    EXPECT_EQ(with_shared.k, fresh.k) << "round " << round;
+    EXPECT_EQ(with_shared.rounds, fresh.rounds) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace kp

@@ -272,6 +272,23 @@ TEST(ThroughputService, MidRunCancellationReturnsBudgetWithoutAbortingOthers) {
   }
 }
 
+TEST(ThroughputService, SymbolicExecutionCancelsMidExploration) {
+  // The token is polled once per explored state inside the symbolic
+  // engine's sweep (not just before execution starts): cancel it from the
+  // sim's own poll hook and the exploration must stop as Budget with the
+  // cancellation noted, well under the state budget.
+  MidRunCanceller canceller;
+  ThroughputService service(ServiceOptions{.threads = 0});
+  AnalysisOptions options;
+  options.sim.poll = &MidRunCanceller::hook;
+  options.sim.poll_ctx = &canceller;
+  const Analysis a = service.analyze(gcd_ring(24), Method::SymbolicExecution, options, -1.0,
+                                     canceller.token);
+  EXPECT_EQ(a.outcome, Outcome::Budget);
+  EXPECT_NE(a.detail.find("cancelled"), std::string::npos) << a.detail;
+  EXPECT_GE(canceller.polls.load(), canceller.fire_after);
+}
+
 TEST(ThroughputService, ZeroDeadlineReturnsBudget) {
   ThroughputService service(ServiceOptions{.threads = 1});
   AnalysisRequest req{.graph = gcd_ring(64)};

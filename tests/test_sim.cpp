@@ -107,6 +107,44 @@ TEST(Sim, BudgetStatus) {
   EXPECT_EQ(r.status, SimStatus::Budget);
 }
 
+TEST(Sim, PollHookStopsExplorationMidSweep) {
+  // The poll hook is checked once per explored state: firing it after N
+  // polls must stop the sweep with Budget long before the state budget.
+  const CsdfGraph g = add_serialization_buffers(figure2_graph());
+  const RepetitionVector rv = compute_repetition_vector(g);
+
+  struct FireAt {
+    i64 polls_left;
+    static bool hook(void* ctx) { return --static_cast<FireAt*>(ctx)->polls_left < 0; }
+  } state{3};
+
+  SimOptions options;
+  options.poll = &FireAt::hook;
+  options.poll_ctx = &state;
+  const SimResult r = symbolic_execution_throughput(g, rv, options);
+  EXPECT_EQ(r.status, SimStatus::Budget);
+  EXPECT_LE(r.states_explored, 5);  // stopped within a few states of the hook
+}
+
+TEST(Sim, PollHookFiringImmediatelyStopsBeforeAnyComponent) {
+  const CsdfGraph g = add_serialization_buffers(figure2_graph());
+  const RepetitionVector rv = compute_repetition_vector(g);
+  SimOptions options;
+  options.poll = +[](void*) { return true; };
+  const SimResult r = symbolic_execution_throughput(g, rv, options);
+  EXPECT_EQ(r.status, SimStatus::Budget);
+  EXPECT_EQ(r.states_explored, 0);
+}
+
+TEST(Sim, NullPollHookChangesNothing) {
+  const CsdfGraph g = add_serialization_buffers(figure2_graph());
+  const RepetitionVector rv = compute_repetition_vector(g);
+  SimOptions options;  // poll defaults to nullptr
+  const SimResult r = symbolic_execution_throughput(g, rv, options);
+  ASSERT_EQ(r.status, SimStatus::Periodic);
+  EXPECT_EQ(r.period, Rational{13});
+}
+
 TEST(Sim, InconsistentThrows) {
   CsdfGraph g;
   const TaskId a = g.add_task("a", 1);
