@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "core/constraints.hpp"
 #include "core/kiter.hpp"
 #include "core/kperiodic.hpp"
@@ -38,25 +39,8 @@
 namespace {
 
 using namespace kp;
-
-/// Times fn as min-of-`repeats`, batching enough iterations per repeat that
-/// the timed section is >= ~0.5 ms — sub-10µs sections are otherwise at the
-/// mercy of scheduler/IRQ noise, which would make the bench_check gate
-/// flaky. Returns per-iteration milliseconds.
-template <typename Fn>
-double min_ms_of(int repeats, Fn&& fn) {
-  Stopwatch probe;
-  fn();
-  const double single_ms = probe.elapsed_ms();
-  const int iters = std::max(1, static_cast<int>(0.5 / std::max(single_ms, 1e-6)));
-  double best = 1e300;
-  for (int r = 0; r < repeats; ++r) {
-    Stopwatch clock;
-    for (int i = 0; i < iters; ++i) fn();
-    best = std::min(best, clock.elapsed_ms() / iters);
-  }
-  return best;
-}
+using kp::bench::gcd_chain;
+using kp::bench::min_ms_of;
 
 struct CaseResult {
   i64 g = 0;
@@ -79,30 +63,6 @@ std::string fmt(double ms) {
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.4f", ms);
   return buf;
-}
-
-/// gcd-structured chain: t0 fans g tokens into a rate-1 pipeline of
-/// `tasks - 1` serialized stages, closed back to t0 (q = [1, g, ..., g]).
-/// The K-Iter warm-round shape at scale: bumping ONE mid-chain task's K
-/// touches 3 of the 2·tasks - 1 buffers and leaves the rest to splice.
-CsdfGraph gcd_chain(std::int32_t tasks, i64 g) {
-  CsdfGraph out("gcd-chain-" + std::to_string(tasks) + "-" + std::to_string(g));
-  std::vector<TaskId> t;
-  t.push_back(out.add_task("t0", 3));
-  for (std::int32_t i = 1; i < tasks; ++i) {
-    t.push_back(out.add_task("t" + std::to_string(i), 1 + i % 3));
-  }
-  out.add_buffer("b0", t[0], t[1], g, 1, 0);
-  for (std::int32_t i = 1; i + 1 < tasks; ++i) {
-    out.add_buffer("b" + std::to_string(i), t[static_cast<std::size_t>(i)],
-                   t[static_cast<std::size_t>(i) + 1], 1, 1, 0);
-  }
-  out.add_buffer("back", t.back(), t[0], 1, g, g);
-  for (std::int32_t i = 1; i < tasks; ++i) {
-    out.add_buffer("s" + std::to_string(i), t[static_cast<std::size_t>(i)],
-                   t[static_cast<std::size_t>(i)], 1, 1, 1);
-  }
-  return out;
 }
 
 }  // namespace
@@ -219,7 +179,7 @@ int main(int argc, char** argv) {
   inc_table.print(std::cout);
 
   std::ofstream json(json_path);
-  json << "{\n  \"schema\": 2,\n  \"sweep\": \"gcd-ring\",\n  \"cases\": [\n";
+  json << "{\n  \"schema\": 3,\n  \"sweep\": \"gcd-ring\",\n  \"cases\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const CaseResult& cr = results[i];
     json << "    {\"g\": " << cr.g << ", \"pairs\": " << to_string(cr.pairs)

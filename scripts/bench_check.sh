@@ -14,6 +14,14 @@
 # regeneration. Both sides are measured within the same run, so this gate
 # is machine-relative too (no committed baseline needed).
 #
+# Gate 1c (bench_dse): on the 240-variant execution-time DSE sweep, the
+# content-keyed cross-variant cache must refresh constraint-graph state at
+# least 2x faster per variant than cold per-variant regeneration (in
+# practice the payload patch is orders of magnitude faster — the floor
+# guards the path staying engaged, e.g. a fingerprint bug silently forcing
+# rebuilds). The bench itself exits non-zero if warm variant analyses are
+# not bit-identical to cold ones. Within-run ratio, machine-relative.
+#
 # Gate 2 (bench_batch): fails if analyze_batch results differ across thread
 # counts (the bench itself exits non-zero), or if the parallel efficiency
 # measured within the run falls below the floor for THIS machine's core
@@ -30,9 +38,10 @@ build_dir="${1:-$repo_root/build}"
 baseline="$repo_root/BENCH_hotpath.json"
 bench_bin="$build_dir/bench_hotpath"
 batch_bin="$build_dir/bench_batch"
+dse_bin="$build_dir/bench_dse"
 
-if [[ ! -x "$bench_bin" || ! -x "$batch_bin" ]]; then
-  echo "bench_check: $bench_bin / $batch_bin not found — build first (cmake -B build && cmake --build build)" >&2
+if [[ ! -x "$bench_bin" || ! -x "$batch_bin" || ! -x "$dse_bin" ]]; then
+  echo "bench_check: $bench_bin / $batch_bin / $dse_bin not found — build first (cmake -B build && cmake --build build)" >&2
   exit 2
 fi
 if [[ ! -f "$baseline" ]]; then
@@ -126,6 +135,48 @@ if failures:
         print(f"  {f}", file=sys.stderr)
     sys.exit(1)
 print("bench_check passed: incremental patch path beats full rebuild on the gcd chain")
+EOF
+
+# ---- gate 1c: cross-variant DSE patching (within-run) ----------------------
+# bench_dse merges its "dse" section into the fresh bench_hotpath JSON and
+# exits non-zero itself when warm variant analyses diverge from cold ones.
+"$dse_bin" "$fresh"
+
+python3 - "$fresh" <<'EOF'
+import json
+import sys
+
+FLOOR = 2.0  # patched variant refresh must beat cold rebuilds by this factor
+
+with open(sys.argv[1]) as f:
+    run = json.load(f)
+
+cases = run.get("dse", [])
+if not cases:
+    print(
+        "bench_check FAILED: no 'dse' section in fresh bench run (old bench_dse?)",
+        file=sys.stderr,
+    )
+    sys.exit(1)
+
+failures = []
+for case in cases:
+    speedup = case["cold_build_ms"] / max(case["patched_build_ms"], 1e-9)
+    marker = "FAIL" if speedup < FLOOR else "ok"
+    print(
+        f"g={case['g']}: DSE variant patch {case['patched_build_ms']:.4f} ms vs cold "
+        f"build {case['cold_build_ms']:.4f} ms over {case['variants']} variants "
+        f"(speedup {speedup:.1f}x, floor {FLOOR:.1f}x) {marker}"
+    )
+    if speedup < FLOOR:
+        failures.append(f"g={case['g']}: DSE patch speedup {speedup:.1f}x below {FLOOR:.1f}x")
+
+if failures:
+    print("bench_check FAILED:", file=sys.stderr)
+    for f in failures:
+        print(f"  {f}", file=sys.stderr)
+    sys.exit(1)
+print("bench_check passed: cross-variant patching beats cold per-variant rebuilds")
 EOF
 
 # ---- gate 2: batch serving path --------------------------------------------

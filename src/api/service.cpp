@@ -240,11 +240,24 @@ Analysis execute_request(const CsdfGraph& graph, Method method, const AnalysisOp
 
 }  // namespace
 
+/// One variant batch in flight: the caller's batch, the serialization-
+/// prepared base every worker copies once, and the generation stamp that
+/// keys worker-local variant scratch. Lives on the analyze_variants stack
+/// for the whole blocking call.
+struct ThroughputService::VariantRun {
+  const VariantBatch* batch = nullptr;
+  const CsdfGraph* prepared = nullptr;
+  u64 gen = 0;
+};
+
 /// One enqueued request. Batch jobs reference the caller's span (valid for
-/// the whole blocking analyze_batch call); submitted jobs own theirs.
+/// the whole blocking analyze_batch call); submitted jobs own theirs;
+/// variant jobs name a (run, delta index) pair instead of carrying a graph.
 struct ThroughputService::Job {
   const AnalysisRequest* request = nullptr;
   AnalysisRequest owned;
+  const VariantRun* variant = nullptr;
+  std::size_t variant_index = 0;
   i64 id = -1;
   Stopwatch queued;
   Analysis result;
@@ -252,6 +265,9 @@ struct ThroughputService::Job {
   bool done = false;
 
   [[nodiscard]] const AnalysisRequest& req() const { return request ? *request : owned; }
+  [[nodiscard]] Method method() const {
+    return variant != nullptr ? variant->batch->method : req().method;
+  }
 };
 
 ThroughputService::ThroughputService(ServiceOptions options) {
@@ -285,7 +301,7 @@ ThroughputService::~ThroughputService() {
     // to the caller) observe a well-formed result.
     std::lock_guard<std::mutex> lk(mu_);
     for (const std::shared_ptr<Job>& job : orphans) {
-      job->result.method = job->req().method;
+      job->result.method = job->method();
       job->result.outcome = Outcome::Budget;
       job->result.detail = "service shut down before execution";
       job->result.request_id = job->id;
@@ -316,11 +332,16 @@ void ThroughputService::worker_loop(int worker_id) {
 }
 
 void ThroughputService::run_job(Job& job, int worker_id) {
-  const AnalysisRequest& req = job.req();
   const double queue_ms = job.queued.elapsed_ms();
   try {
-    job.result = execute_request(req.graph, req.method, req.options, req.deadline_ms, req.cancel,
-                                 workers_[static_cast<std::size_t>(worker_id)]->workspace);
+    Worker& worker = *workers_[static_cast<std::size_t>(worker_id)];
+    if (job.variant != nullptr) {
+      job.result = run_variant(*job.variant, job.variant_index, worker);
+    } else {
+      const AnalysisRequest& req = job.req();
+      job.result = execute_request(req.graph, req.method, req.options, req.deadline_ms,
+                                   req.cancel, worker.workspace);
+    }
   } catch (...) {
     job.error = std::current_exception();
   }
@@ -329,16 +350,40 @@ void ThroughputService::run_job(Job& job, int worker_id) {
   job.result.queue_ms = queue_ms;
 }
 
-std::vector<Analysis> ThroughputService::analyze_batch(std::span<const AnalysisRequest> requests) {
-  std::vector<std::shared_ptr<Job>> jobs;
-  jobs.reserve(requests.size());
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    auto job = std::make_shared<Job>();
-    job->request = &requests[i];
-    job->id = static_cast<i64>(i);
-    jobs.push_back(std::move(job));
+Analysis ThroughputService::run_variant(const VariantRun& run, std::size_t index,
+                                        Worker& worker) {
+  // First variant of this batch on this worker: materialize the prepared
+  // base once. Every later variant is revert + apply, O(delta).
+  if (worker.variant_gen != run.gen) {
+    worker.variant_graph = *run.prepared;
+    worker.variant_gen = run.gen;
+    worker.variant_applied = -1;
   }
+  const std::vector<GraphDelta>& deltas = run.batch->deltas;
+  try {
+    if (worker.variant_applied >= 0) {
+      revert_delta(worker.variant_graph,
+                   deltas[static_cast<std::size_t>(worker.variant_applied)], *run.prepared);
+      worker.variant_applied = -1;
+    }
+    apply_delta(worker.variant_graph, deltas[index]);
+    worker.variant_applied = static_cast<std::ptrdiff_t>(index);
+  } catch (...) {
+    // A throwing delta may leave the scratch mid-edit: re-key so the next
+    // variant job starts from a fresh copy of the base.
+    worker.variant_gen = 0;
+    throw;
+  }
+  // Serialization was applied to the base once; the variant must not get a
+  // second layer of self-buffers.
+  AnalysisOptions options = run.batch->options;
+  options.serialize_tasks = false;
+  return execute_request(worker.variant_graph, run.batch->method, options,
+                         run.batch->deadline_ms, run.batch->cancel, worker.workspace);
+}
 
+std::vector<Analysis> ThroughputService::dispatch_and_wait(
+    std::vector<std::shared_ptr<Job>>& jobs, const char* what) {
   if (inline_mode()) {
     Worker& caller = *workers_.back();
     std::lock_guard<std::mutex> wk(caller.in_use);
@@ -349,7 +394,8 @@ std::vector<Analysis> ThroughputService::analyze_batch(std::span<const AnalysisR
   } else {
     {
       std::lock_guard<std::mutex> lk(mu_);
-      if (stopping_) throw SolverError("ThroughputService: analyze_batch after shutdown");
+      if (stopping_) throw SolverError(std::string("ThroughputService: ") + what +
+                                       " after shutdown");
       for (const std::shared_ptr<Job>& job : jobs) queue_.push_back(job);
     }
     work_ready_.notify_all();
@@ -366,6 +412,55 @@ std::vector<Analysis> ThroughputService::analyze_batch(std::span<const AnalysisR
     results.push_back(std::move(job->result));
   }
   return results;
+}
+
+std::vector<Analysis> ThroughputService::analyze_batch(std::span<const AnalysisRequest> requests) {
+  std::vector<std::shared_ptr<Job>> jobs;
+  jobs.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    auto job = std::make_shared<Job>();
+    job->request = &requests[i];
+    job->id = static_cast<i64>(i);
+    jobs.push_back(std::move(job));
+  }
+  return dispatch_and_wait(jobs, "analyze_batch");
+}
+
+std::vector<Analysis> ThroughputService::analyze_variants(const VariantBatch& batch) {
+  // Delta ids must be validated against the BASE graph up front: the
+  // workers apply deltas to the serialization-augmented copy, where an
+  // out-of-range base buffer id would silently resolve to a serialization
+  // self-loop instead of throwing.
+  for (const GraphDelta& d : batch.deltas) {
+    for (const GraphDelta::ExecTime& e : d.exec_times) (void)batch.base.task(e.task);
+    for (const GraphDelta::Marking& m : d.markings) (void)batch.base.buffer(m.buffer);
+    for (const GraphDelta::Rates& r : d.rates) (void)batch.base.buffer(r.buffer);
+  }
+
+  VariantRun run;
+  run.batch = &batch;
+  CsdfGraph serialized;
+  if (batch.options.serialize_tasks) {
+    serialized = add_serialization_buffers(batch.base);
+    run.prepared = &serialized;
+  } else {
+    run.prepared = &batch.base;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    run.gen = ++next_variant_gen_;
+  }
+
+  std::vector<std::shared_ptr<Job>> jobs;
+  jobs.reserve(batch.deltas.size());
+  for (std::size_t i = 0; i < batch.deltas.size(); ++i) {
+    auto job = std::make_shared<Job>();
+    job->variant = &run;
+    job->variant_index = i;
+    job->id = static_cast<i64>(i);
+    jobs.push_back(std::move(job));
+  }
+  return dispatch_and_wait(jobs, "analyze_variants");
 }
 
 i64 ThroughputService::submit(AnalysisRequest request) {

@@ -48,6 +48,7 @@
 
 #include "api/analysis.hpp"
 #include "core/kperiodic.hpp"
+#include "model/transform.hpp"
 
 namespace kp {
 
@@ -103,6 +104,34 @@ struct ServiceOptions {
   int threads = -1;
 };
 
+/// A parametric DSE batch: one base graph plus one GraphDelta per variant
+/// (model/transform.hpp). This is the cheap way to analyze thousands of
+/// near-identical graphs: the service ships deltas instead of graphs, each
+/// worker keeps ONE materialized variant graph per batch and turns it into
+/// the next assigned variant by reverting the previous delta and applying
+/// the new one (O(delta), no per-variant copy), and the content-keyed
+/// constraint cache in the worker's warm KIterWorkspace patches only the
+/// buffers each delta actually touched — an execution-time-only delta
+/// rewrites L payloads on the live constraint graph and re-enumerates
+/// nothing. Results are bit-identical to analyzing every variant cold
+/// (make_variant + a fresh workspace), at any thread count, with the same
+/// wall-clock caveat analyze_batch documents for deadline/time budgets.
+struct VariantBatch {
+  CsdfGraph base;
+  std::vector<GraphDelta> deltas;
+  Method method = Method::KIter;
+  AnalysisOptions options{};
+
+  /// Per-variant wall-clock budget, measured from execution start on a
+  /// worker; < 0 disables.
+  double deadline_ms = -1.0;
+
+  /// Shared across the batch: cancelling stops every variant that has not
+  /// finished (started ones stop cooperatively, unstarted ones report
+  /// Outcome::Budget).
+  CancelToken cancel{};
+};
+
 class ThroughputService {
  public:
   explicit ThroughputService(ServiceOptions options = {});
@@ -121,6 +150,17 @@ class ThroughputService {
   /// with request_id == i; the value fields (outcome/quality/period/
   /// throughput/k-detail) are deterministic regardless of worker_count().
   [[nodiscard]] std::vector<Analysis> analyze_batch(std::span<const AnalysisRequest> requests);
+
+  /// Analyzes every variant of `batch.base` over the pool: results[i]
+  /// answers base + deltas[i] with request_id == i, in delta order, with
+  /// the same determinism guarantee as analyze_batch. Serialization
+  /// (options.serialize_tasks) is applied once to the base — delta ids
+  /// refer to the base graph and stay valid. A delta naming a task/buffer
+  /// id the base does not have throws ModelError before any variant runs;
+  /// other invalid deltas (wrong vector size, negative value) throw out of
+  /// this call after the batch drains, like an engine error in
+  /// analyze_batch would.
+  [[nodiscard]] std::vector<Analysis> analyze_variants(const VariantBatch& batch);
 
   /// Async path: enqueue one request (the graph is moved in), returns the
   /// ticket to pass to wait(). In inline mode the request is served
@@ -142,13 +182,25 @@ class ThroughputService {
 
  private:
   struct Job;
+  struct VariantRun;
   struct Worker {
     KIterWorkspace workspace;
     std::mutex in_use;  // guards the workspace in inline mode
+
+    // analyze_variants scratch: the one materialized variant graph this
+    // worker mutates through the batch, keyed by batch generation (0 =
+    // none) so a graph left over from an earlier batch is never mistaken
+    // for the current base.
+    u64 variant_gen = 0;
+    std::ptrdiff_t variant_applied = -1;  ///< delta currently applied, -1 = base
+    CsdfGraph variant_graph;
   };
 
   void worker_loop(int worker_id);
   void run_job(Job& job, int worker_id);
+  Analysis run_variant(const VariantRun& run, std::size_t index, Worker& worker);
+  [[nodiscard]] std::vector<Analysis> dispatch_and_wait(
+      std::vector<std::shared_ptr<Job>>& jobs, const char* what);
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
@@ -159,6 +211,7 @@ class ThroughputService {
   std::deque<std::shared_ptr<Job>> queue_;
   std::unordered_map<i64, std::shared_ptr<Job>> tickets_;
   i64 next_ticket_ = 0;
+  u64 next_variant_gen_ = 0;
   bool stopping_ = false;
 };
 

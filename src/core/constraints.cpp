@@ -31,10 +31,12 @@ i128 mod_inverse(i128 a, i128 m) {
   return pmod(old_s, m);
 }
 
-/// Validates inputs and lays out the duplicated-phase nodes into `cg`,
-/// reusing its storage. Shared by the stride and reference generators.
-void init_constraint_nodes(const CsdfGraph& g, const RepetitionVector& rv,
-                           const std::vector<i64>& k, ConstraintGraph& cg) {
+/// Validates (g, rv, k) and lays out the duplicated-phase node space into
+/// `cg` (k, task_first_node, resized node maps, reset graph), reusing its
+/// storage. The node maps are left for the caller to fill (fill_task_nodes)
+/// or block-copy from a previous layout (layout_nodes_for_patch).
+void layout_node_space(const CsdfGraph& g, const RepetitionVector& rv,
+                       const std::vector<i64>& k, ConstraintGraph& cg) {
   if (!rv.consistent) throw ModelError("constraint graph requires a consistent CSDFG");
   if (static_cast<std::int32_t>(k.size()) != g.task_count()) {
     throw ModelError("periodicity vector must have one entry per task");
@@ -61,17 +63,27 @@ void init_constraint_nodes(const CsdfGraph& g, const RepetitionVector& rv,
   cg.node_phase.resize(static_cast<std::size_t>(n));
   cg.node_iter.resize(static_cast<std::size_t>(n));
   cg.graph.reset(n);
-  for (TaskId t = 0; t < g.task_count(); ++t) {
-    const std::int32_t phi = g.phases(t);
-    std::int32_t node = cg.task_first_node[static_cast<std::size_t>(t)];
-    for (std::int32_t iter = 1; iter <= k[static_cast<std::size_t>(t)]; ++iter) {
-      for (std::int32_t p = 1; p <= phi; ++p, ++node) {
-        cg.node_task[static_cast<std::size_t>(node)] = t;
-        cg.node_phase[static_cast<std::size_t>(node)] = p;
-        cg.node_iter[static_cast<std::size_t>(node)] = iter;
-      }
+}
+
+/// Writes task t's node-map span for the layout `k` encodes.
+void fill_task_nodes(const CsdfGraph& g, const std::vector<i64>& k, TaskId t,
+                     ConstraintGraph& cg) {
+  const std::int32_t phi = g.phases(t);
+  std::int32_t node = cg.task_first_node[static_cast<std::size_t>(t)];
+  for (std::int32_t iter = 1; iter <= k[static_cast<std::size_t>(t)]; ++iter) {
+    for (std::int32_t p = 1; p <= phi; ++p, ++node) {
+      cg.node_task[static_cast<std::size_t>(node)] = t;
+      cg.node_phase[static_cast<std::size_t>(node)] = p;
+      cg.node_iter[static_cast<std::size_t>(node)] = iter;
     }
   }
+}
+
+/// Full node layout, shared by the stride and reference generators.
+void init_constraint_nodes(const CsdfGraph& g, const RepetitionVector& rv,
+                           const std::vector<i64>& k, ConstraintGraph& cg) {
+  layout_node_space(g, rv, k, cg);
+  for (TaskId t = 0; t < g.task_count(); ++t) fill_task_nodes(g, k, t, cg);
 }
 
 /// Poll bookkeeping shared across the buffers of one build or patch: the
@@ -180,6 +192,118 @@ bool emit_buffer_arcs(const CsdfGraph& g, const RepetitionVector& rv, const Buff
   return true;
 }
 
+// ---- content fingerprints (cross-variant cache keying) ----------------------
+
+/// Content-snapshot pieces (push_back into cleared vectors — capacity is
+/// retained, so re-snapshotting a same-shaped variant allocates nothing).
+/// Split so patch rounds refresh only what the diff saw change: durations
+/// feed only L payloads, the buffer part only arc structure.
+void snapshot_durations(const CsdfGraph& g, ConstraintGraphCache& cache) {
+  cache.key_dur.clear();
+  for (const Task& t : g.tasks()) {
+    cache.key_dur.insert(cache.key_dur.end(), t.durations.begin(), t.durations.end());
+  }
+}
+
+void snapshot_buffers(const CsdfGraph& g, const RepetitionVector& rv,
+                      ConstraintGraphCache& cache) {
+  cache.key_buf.clear();
+  cache.key_rates.clear();
+  for (const Buffer& b : g.buffers()) {
+    cache.key_buf.push_back(b.src);
+    cache.key_buf.push_back(b.dst);
+    cache.key_buf.push_back(b.initial_tokens);
+    cache.key_buf.push_back(rv.of(b.src));
+    cache.key_rates.insert(cache.key_rates.end(), b.prod.begin(), b.prod.end());
+    cache.key_rates.insert(cache.key_rates.end(), b.cons.begin(), b.cons.end());
+  }
+}
+
+/// Records the exact model content the companion graph encodes: per-task
+/// phase counts, all durations, per-buffer (src, dst, M0, q_src) and all
+/// rate vectors.
+void snapshot_model(const CsdfGraph& g, const RepetitionVector& rv, ConstraintGraphCache& cache) {
+  cache.key_task_phi.clear();
+  for (const Task& t : g.tasks()) cache.key_task_phi.push_back(t.phases());
+  snapshot_durations(g, cache);
+  snapshot_buffers(g, rv, cache);
+}
+
+/// True iff buffer `bid`'s content fingerprint — marking, producer q, rate
+/// vectors — matches the snapshot (endpoint K is diffed separately).
+/// Advances `rate_off` past the buffer's rate entries either way. This is
+/// THE buffer classification: build_constraint_graph_incremental and
+/// constraint_patch_work_estimate share it so the kiter resource guard
+/// prices exactly what the patch will do.
+bool buffer_content_matches(const ConstraintGraphCache& cache, const Buffer& b, std::size_t bid,
+                            const RepetitionVector& rv, std::size_t& rate_off) {
+  bool same = cache.key_buf[4 * bid + 2] == b.initial_tokens &&
+              cache.key_buf[4 * bid + 3] == rv.of(b.src);
+  if (same) {
+    const auto base = cache.key_rates.begin() + static_cast<std::ptrdiff_t>(rate_off);
+    same = std::equal(b.prod.begin(), b.prod.end(), base) &&
+           std::equal(b.cons.begin(), b.cons.end(),
+                      base + static_cast<std::ptrdiff_t>(b.prod.size()));
+  }
+  rate_off += b.prod.size() + b.cons.size();
+  return same;
+}
+
+/// True iff `g` has the shape the snapshot describes: same task and buffer
+/// counts, same phase counts, same endpoints. Only same-shaped graphs are
+/// diffable — the node layout and buffer emission order line up, so every
+/// difference is expressible per buffer.
+bool shape_matches(const CsdfGraph& g, const ConstraintGraphCache& cache) {
+  const auto ntasks = static_cast<std::size_t>(g.task_count());
+  const auto nbuf = static_cast<std::size_t>(g.buffer_count());
+  if (cache.key_task_phi.size() != ntasks || cache.key_buf.size() != 4 * nbuf) return false;
+  for (std::size_t t = 0; t < ntasks; ++t) {
+    if (cache.key_task_phi[t] != g.tasks()[t].phases()) return false;
+  }
+  for (std::size_t b = 0; b < nbuf; ++b) {
+    if (cache.key_buf[4 * b] != g.buffers()[b].src ||
+        cache.key_buf[4 * b + 1] != g.buffers()[b].dst) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Rewrites the L payloads of buffer arcs [lo, hi) of `cg` from the
+/// producer's (new) durations; endpoints, H and the CSR stay verbatim.
+void recost_span(const CsdfGraph& g, ConstraintGraph& cg, TaskId producer, std::int32_t lo,
+                 std::int32_t hi) {
+  const std::vector<i64>& dur = g.tasks()[static_cast<std::size_t>(producer)].durations;
+  for (std::int32_t a = lo; a < hi; ++a) {
+    const std::int32_t v = cg.graph.graph().arc_unchecked(a).src;
+    cg.graph.set_cost(a, dur[static_cast<std::size_t>(cg.node_phase[static_cast<std::size_t>(v)]) - 1]);
+  }
+}
+
+/// Patch-path replacement for init_constraint_nodes: lays out the node
+/// space for `k` into `out`, block-copying (memmove) the node-map spans of
+/// every layout-unchanged task from `prev` instead of rewriting them
+/// element-wise. `prev` must share `g`'s shape and agree on K wherever
+/// `layout_changed` is 0.
+void layout_nodes_for_patch(const CsdfGraph& g, const RepetitionVector& rv,
+                            const std::vector<i64>& k, const ConstraintGraph& prev,
+                            ConstraintGraph& out, const std::vector<std::int8_t>& layout_changed) {
+  layout_node_space(g, rv, k, out);
+  for (TaskId t = 0; t < g.task_count(); ++t) {
+    const auto idx = static_cast<std::size_t>(t);
+    if (layout_changed[idx] != 0) {
+      fill_task_nodes(g, k, t, out);
+      continue;
+    }
+    const auto len = static_cast<std::ptrdiff_t>(k[idx]) * g.phases(t);
+    const auto first = static_cast<std::ptrdiff_t>(out.task_first_node[idx]);
+    const auto pfirst = static_cast<std::ptrdiff_t>(prev.task_first_node[idx]);
+    std::copy_n(prev.node_task.begin() + pfirst, len, out.node_task.begin() + first);
+    std::copy_n(prev.node_phase.begin() + pfirst, len, out.node_phase.begin() + first);
+    std::copy_n(prev.node_iter.begin() + pfirst, len, out.node_iter.begin() + first);
+  }
+}
+
 /// Upper bound on the stride generator's work for one buffer at (kt, kt2):
 /// the O(rows·φ(t')) base scan plus the residue-structure bound on
 /// surviving arcs (see constraint_work_estimate).
@@ -283,24 +407,28 @@ i128 constraint_work_estimate(const CsdfGraph& g, const std::vector<i64>& k) {
   return work;
 }
 
-i128 constraint_patch_work_estimate(const CsdfGraph& g, const std::vector<i64>& k_from,
-                                    const std::vector<i64>& k,
+i128 constraint_patch_work_estimate(const CsdfGraph& g, const RepetitionVector& rv,
+                                    const std::vector<i64>& k_from, const std::vector<i64>& k,
                                     const ConstraintGraphCache& cache) {
   const auto nbuf = static_cast<std::size_t>(g.buffer_count());
   if (!cache.valid || k_from.size() != k.size() ||
       k.size() != static_cast<std::size_t>(g.task_count()) ||
-      cache.buf_arc_begin.size() != nbuf + 1) {
+      cache.buf_arc_begin.size() != nbuf + 1 || !shape_matches(g, cache)) {
     return constraint_work_estimate(g, k);
   }
   i128 work = 0;
+  std::size_t rate_off = 0;
   for (BufferId bid = 0; bid < g.buffer_count(); ++bid) {
     const Buffer& b = g.buffer(bid);
     const auto src = static_cast<std::size_t>(b.src);
     const auto dst = static_cast<std::size_t>(b.dst);
-    if (k_from[src] == k[src] && k_from[dst] == k[dst]) {
-      // Untouched: priced at the exact copy cost of its recorded span.
-      work = checked_add(work, i128{cache.buf_arc_begin[static_cast<std::size_t>(bid) + 1] -
-                                    cache.buf_arc_begin[static_cast<std::size_t>(bid)]});
+    const auto idx = static_cast<std::size_t>(bid);
+    const bool untouched = buffer_content_matches(cache, b, idx, rv, rate_off) &&
+                           k_from[src] == k[src] && k_from[dst] == k[dst];
+    if (untouched) {
+      // Untouched (a durations-only change included — the L rewrite is a
+      // copy-cost walk): priced at the exact cost of its recorded span.
+      work = checked_add(work, i128{cache.buf_arc_begin[idx + 1] - cache.buf_arc_begin[idx]});
     } else {
       work = checked_add(work, buffer_stride_work(b, k[src], k[dst]));
     }
@@ -335,24 +463,72 @@ bool build_constraint_graph_incremental(const CsdfGraph& g, const RepetitionVect
   const auto nbuf = static_cast<std::size_t>(g.buffer_count());
   const auto ntasks = static_cast<std::size_t>(g.task_count());
 
-  // Diff the periodicity vectors. The patch path needs a valid span record
-  // for this graph shape and at least one buffer whose arcs survive.
+  // Diff (g, k) against the cached content snapshot. The patch path needs a
+  // valid span record for a same-shaped graph and at least one buffer whose
+  // arcs survive structurally.
   bool patch = cache.valid && cg.k.size() == k.size() && k.size() == ntasks &&
-               cache.buf_arc_begin.size() == nbuf + 1;
+               cache.buf_arc_begin.size() == nbuf + 1 && shape_matches(g, cache);
+  bool any_recost = false;   // some task's durations moved (L payloads)
+  bool any_content = false;  // some buffer's marking/q/rates moved
   if (patch) {
+    // Per task: did its K change (node layout) / did its durations change
+    // (L payloads of its out-buffers)?
     cache.task_touched.assign(ntasks, 0);
-    bool any_touched = false;
+    cache.task_recost.assign(ntasks, 0);
+    bool any_layout = false;
+    std::size_t dur_off = 0;
     for (std::size_t t = 0; t < ntasks; ++t) {
       if (cg.k[t] != k[t]) {
         cache.task_touched[t] = 1;
-        any_touched = true;
+        any_layout = true;
+      }
+      const std::vector<i64>& dur = g.tasks()[t].durations;
+      if (!std::equal(dur.begin(), dur.end(),
+                      cache.key_dur.begin() + static_cast<std::ptrdiff_t>(dur_off))) {
+        cache.task_recost[t] = 1;
+        any_recost = true;
+      }
+      dur_off += dur.size();
+    }
+
+    // Per buffer: did anything that shapes its arcs change — endpoint K,
+    // marking, producer q, rates? The content check runs even for buffers a
+    // K change already touched: `any_content` decides below whether the
+    // buffer snapshot must be refreshed at all (pure-K rounds, the K-Iter
+    // common case, skip it entirely).
+    cache.buf_touched.assign(nbuf, 0);
+    std::size_t rate_off = 0;
+    for (std::size_t bid = 0; bid < nbuf; ++bid) {
+      const Buffer& b = g.buffers()[bid];
+      const bool content_moved = !buffer_content_matches(cache, b, bid, rv, rate_off);
+      any_content |= content_moved;
+      if (content_moved || cache.task_touched[static_cast<std::size_t>(b.src)] != 0 ||
+          cache.task_touched[static_cast<std::size_t>(b.dst)] != 0) {
+        cache.buf_touched[bid] = 1;
       }
     }
-    if (!any_touched) return true;  // the graph already encodes `k`
+
+    if (!any_layout && !any_content) {
+      if (!any_recost) return true;  // the graph already encodes (g, k)
+      // Execution-time-only delta: every arc keeps its endpoints and H, so
+      // the node layout, the spans and the CSR all stay verbatim — rewrite
+      // the L payloads of the changed producers' spans on the LIVE graph
+      // and refresh the duration snapshot. No buffer is re-enumerated and
+      // nothing is allocated.
+      for (std::size_t bid = 0; bid < nbuf; ++bid) {
+        const Buffer& b = g.buffers()[bid];
+        if (cache.task_recost[static_cast<std::size_t>(b.src)] == 0) continue;
+        recost_span(g, cg, b.src, cache.buf_arc_begin[bid], cache.buf_arc_begin[bid + 1]);
+      }
+      snapshot_durations(g, cache);
+      ++cache.payload_rounds;
+      cache.last_regenerated_buffers = 0;
+      return true;
+    }
+
     bool any_untouched_buffer = false;
-    for (const Buffer& b : g.buffers()) {
-      if (cache.task_touched[static_cast<std::size_t>(b.src)] == 0 &&
-          cache.task_touched[static_cast<std::size_t>(b.dst)] == 0) {
+    for (std::size_t bid = 0; bid < nbuf; ++bid) {
+      if (cache.buf_touched[bid] == 0) {
         any_untouched_buffer = true;
         break;
       }
@@ -362,7 +538,8 @@ bool build_constraint_graph_incremental(const CsdfGraph& g, const RepetitionVect
 
   if (!patch) {
     // Cold start / fallback: a recorded full rebuild (the reference path,
-    // plus the per-buffer arc spans the next round will diff against).
+    // plus the per-buffer arc spans and the content snapshot the next
+    // round will diff against).
     cache.valid = false;  // cg is partial until the build completes
     init_constraint_nodes(g, rv, k, cg);
     cache.buf_arc_begin.resize(nbuf + 1);
@@ -373,32 +550,38 @@ bool build_constraint_graph_incremental(const CsdfGraph& g, const RepetitionVect
     }
     cache.buf_arc_begin[nbuf] = cg.graph.arc_count();
     cg.graph.graph().finalize();
+    snapshot_model(g, rv, cache);
     cache.valid = true;
     ++cache.rebuilt_rounds;
+    cache.last_regenerated_buffers = static_cast<i64>(nbuf);
     return true;
   }
 
-  // Patch path: lay out the new node space in the scratch graph, then walk
-  // the buffers in id order — regenerate the touched ones, splice the rest
-  // over with the constant node-id shift their tasks' layout change
-  // induces. Buffer order is what the full build uses, so the result is
-  // arc-for-arc identical to a fresh build.
+  // Patch path: lay out the new node space in the scratch graph (node-map
+  // spans of layout-unchanged tasks block-copied from the live graph), then
+  // walk the buffers in id order — regenerate the structurally touched
+  // ones, splice the rest over with the constant node-id shift their tasks'
+  // layout change induces (rewriting L payloads where only the producer's
+  // durations moved). Buffer order is what the full build uses, so the
+  // result is arc-for-arc identical to a fresh build.
   ConstraintGraph& scratch = cache.scratch;
-  init_constraint_nodes(g, rv, k, scratch);
+  layout_nodes_for_patch(g, rv, k, cg, scratch, cache.task_touched);
   cache.node_delta.resize(ntasks);
   for (std::size_t t = 0; t < ntasks; ++t) {
     cache.node_delta[t] = scratch.task_first_node[t] - cg.task_first_node[t];
   }
   cache.scratch_arc_begin.resize(nbuf + 1);
+  i64 regenerated = 0;
   EmitState st(poll);
   for (BufferId bid = 0; bid < g.buffer_count(); ++bid) {
     const Buffer& b = g.buffer(bid);
-    cache.scratch_arc_begin[static_cast<std::size_t>(bid)] = scratch.graph.arc_count();
-    if (cache.task_touched[static_cast<std::size_t>(b.src)] != 0 ||
-        cache.task_touched[static_cast<std::size_t>(b.dst)] != 0) {
+    const std::int32_t lo = scratch.graph.arc_count();
+    cache.scratch_arc_begin[static_cast<std::size_t>(bid)] = lo;
+    if (cache.buf_touched[static_cast<std::size_t>(bid)] != 0) {
+      ++regenerated;
       if (!emit_buffer_arcs(g, rv, b, k, scratch, st)) {
         // cg still holds the previous round's intact graph, but it does not
-        // encode `k`: force the next build down the cold path.
+        // encode (g, k): force the next build down the cold path.
         cache.invalidate();
         return false;
       }
@@ -408,17 +591,78 @@ bool build_constraint_graph_incremental(const CsdfGraph& g, const RepetitionVect
           cache.buf_arc_begin[static_cast<std::size_t>(bid) + 1],
           cache.node_delta[static_cast<std::size_t>(b.src)],
           cache.node_delta[static_cast<std::size_t>(b.dst)]);
+      if (cache.task_recost[static_cast<std::size_t>(b.src)] != 0) {
+        recost_span(g, scratch, b.src, lo, scratch.graph.arc_count());
+      }
     }
   }
   cache.scratch_arc_begin[nbuf] = scratch.graph.arc_count();
-  scratch.graph.graph().finalize();
+
+  // CSR rebuild with degree-span reuse: a task whose incident buffers all
+  // kept their arcs structurally has, node for node, the same adjacency
+  // degrees as before — copy those spans from the live graph's CSR instead
+  // of recounting them, and recount only the spans of buffers incident to
+  // a stale task (Digraph::finalize_patched).
+  cache.out_stale.assign(ntasks, 0);
+  cache.in_stale.assign(ntasks, 0);
+  for (std::size_t bid = 0; bid < nbuf; ++bid) {
+    if (cache.buf_touched[bid] == 0) continue;
+    const Buffer& b = g.buffers()[bid];
+    cache.out_stale[static_cast<std::size_t>(b.src)] = 1;
+    cache.in_stale[static_cast<std::size_t>(b.dst)] = 1;
+  }
+  cache.out_reuse.clear();
+  cache.in_reuse.clear();
+  for (std::size_t t = 0; t < ntasks; ++t) {
+    if (cache.task_touched[t] != 0) {
+      // K changed: the node range itself resized — degrees are meaningless
+      // to copy, and every incident buffer is regenerated anyway.
+      cache.out_stale[t] = 1;
+      cache.in_stale[t] = 1;
+      continue;
+    }
+    const auto len = static_cast<std::int32_t>(k[t]) * g.phases(static_cast<TaskId>(t));
+    if (cache.out_stale[t] == 0) {
+      cache.out_reuse.push_back({scratch.task_first_node[t], cg.task_first_node[t], len});
+    }
+    if (cache.in_stale[t] == 0) {
+      cache.in_reuse.push_back({scratch.task_first_node[t], cg.task_first_node[t], len});
+    }
+  }
+  cache.out_recount.clear();
+  cache.in_recount.clear();
+  for (std::size_t bid = 0; bid < nbuf; ++bid) {
+    const Buffer& b = g.buffers()[bid];
+    const CsrArcRange span{cache.scratch_arc_begin[bid], cache.scratch_arc_begin[bid + 1]};
+    if (cache.out_stale[static_cast<std::size_t>(b.src)] != 0) {
+      if (!cache.out_recount.empty() && cache.out_recount.back().hi == span.lo) {
+        cache.out_recount.back().hi = span.hi;  // merge adjacent ranges
+      } else {
+        cache.out_recount.push_back(span);
+      }
+    }
+    if (cache.in_stale[static_cast<std::size_t>(b.dst)] != 0) {
+      if (!cache.in_recount.empty() && cache.in_recount.back().hi == span.lo) {
+        cache.in_recount.back().hi = span.hi;
+      } else {
+        cache.in_recount.push_back(span);
+      }
+    }
+  }
+  scratch.graph.graph().finalize_patched(cg.graph.graph(), cache.out_reuse, cache.out_recount,
+                                         cache.in_reuse, cache.in_recount);
 
   // Ping-pong: the patched scratch becomes the live graph; the old graph's
   // storage becomes the next patch's splice target (capacity retained on
   // both sides — warm patched rounds allocate nothing).
   std::swap(cg, scratch);
   cache.buf_arc_begin.swap(cache.scratch_arc_begin);
+  // Refresh only the snapshot pieces the diff saw move: a pure-K round
+  // (the K-Iter common case) proved the whole snapshot still current.
+  if (any_recost) snapshot_durations(g, cache);
+  if (any_content) snapshot_buffers(g, rv, cache);
   ++cache.patched_rounds;
+  cache.last_regenerated_buffers = regenerated;
   return true;
 }
 

@@ -88,43 +88,90 @@ struct ConstraintPoll {
   [[nodiscard]] bool should_stop() const { return fn != nullptr && fn(ctx); }
 };
 
-/// State of the incremental constraint-graph engine. The K-Iter round loop
-/// bumps K only for the tasks on the critical circuit, so between two
-/// consecutive rounds most buffers keep exactly the same arc payloads —
-/// only their endpoint node ids shift with the new node layout. The cache
-/// records, per buffer, the arc span it owns in the current graph (arcs are
-/// emitted in buffer-id order, so each buffer's arcs are contiguous), plus
-/// a ping-pong scratch graph that patches splice into: touched buffers
-/// (either endpoint's K changed) are regenerated through the stride
-/// enumerator, untouched spans are copied verbatim with a constant
-/// per-task node-id shift, and the two graphs swap. Both sides of the
-/// ping-pong retain their capacity, so warm patched rounds stay
-/// zero-allocation (the KIterWorkspace contract).
+/// State of the incremental constraint-graph engine, generalized from "same
+/// graph, new K" (the K-Iter round loop) to "new graph, same structure"
+/// (parametric DSE variant batches).
 ///
-/// The cache describes one (graph, ConstraintGraph) pair: reusing the
-/// workspace for a different CsdfGraph requires invalidate() first
-/// (kiter_throughput does this per analysis), and any build that bypasses
-/// the cache invalidates it.
+/// A buffer's arc span is fully determined by its *content fingerprint*:
+/// its rate vectors, its initial marking, the producer's repetition-vector
+/// entry, and the K of both endpoint tasks determine the arc topology and
+/// the H payloads; the producer's phase durations determine the L payloads
+/// (and nothing else). The cache keeps an exact flattened snapshot of that
+/// content for the model the companion graph encodes — exact values, not
+/// hashes, so a fingerprint match is a guarantee, and re-snapshotting into
+/// the retained vectors allocates nothing once warm. Diffing a new
+/// (graph, K) request against the snapshot classifies every buffer:
+///
+///   * fingerprint identical            -> splice the recorded span verbatim
+///                                         (constant per-task node-id shift);
+///   * producer durations changed only  -> splice + rewrite L payloads, or,
+///                                         when NO buffer needs structural
+///                                         work, patch L on the live graph
+///                                         in place (no node relayout, no
+///                                         CSR rebuild, no re-enumeration);
+///   * anything structural changed      -> regenerate through the stride
+///                                         enumerator;
+///   * topology/phase-count mismatch    -> full rebuild (different shape).
+///
+/// Patches splice into a ping-pong scratch graph and swap; both sides
+/// retain capacity, so warm patched rounds stay zero-allocation (the
+/// KIterWorkspace contract). The companion graph's CSR is rebuilt by
+/// Digraph::finalize_patched: tasks with no regenerated incident arcs keep
+/// their adjacency degree spans verbatim instead of re-running the counting
+/// pass, and node-map spans of layout-unchanged tasks are block-copied
+/// (memmove) from the previous graph instead of rewritten element-wise.
+///
+/// Because the snapshot keys content, one workspace cache safely serves a
+/// whole ThroughputService batch of graph variants back to back: a variant
+/// that only changed what its delta names patches in O(changed); a
+/// different graph altogether re-keys through the full-rebuild path. Any
+/// build that bypasses the cache invalidates it.
 struct ConstraintGraphCache {
-  /// True iff buf_arc_begin describes the current contents of the
-  /// companion ConstraintGraph (which then encodes the K to diff against).
+  /// True iff buf_arc_begin and the content snapshot describe the current
+  /// contents of the companion ConstraintGraph (which then encodes the K
+  /// to diff against).
   bool valid = false;
 
   /// buffer_count + 1 entries: buffer b's arcs occupy ids
   /// [buf_arc_begin[b], buf_arc_begin[b+1]) of the companion graph.
   std::vector<std::int32_t> buf_arc_begin;
 
+  /// Content snapshot of the source model (see the class comment):
+  /// per task phi(t); all durations concatenated in task order; per buffer
+  /// (src, dst, M0, q_src); all rate vectors concatenated in buffer order
+  /// (prod then cons).
+  std::vector<i64> key_task_phi;
+  std::vector<i64> key_dur;
+  std::vector<i64> key_buf;
+  std::vector<i64> key_rates;
+
   /// Splice target; swapped with the companion graph after each patch.
   ConstraintGraph scratch;
   std::vector<std::int32_t> scratch_arc_begin;
 
-  /// Per-task scratch for one patch: first-node shift and touched flag.
+  /// Per-task / per-buffer scratch for one diff+patch (capacity retained):
+  /// first-node shift, layout-changed and durations-changed task flags,
+  /// structurally-touched buffer flags, and the degree-span / recount lists
+  /// handed to Digraph::finalize_patched.
   std::vector<std::int32_t> node_delta;
   std::vector<std::int8_t> task_touched;
+  std::vector<std::int8_t> task_recost;
+  std::vector<std::int8_t> buf_touched;
+  std::vector<std::int8_t> out_stale;  ///< task's out-degree spans must be recounted
+  std::vector<std::int8_t> in_stale;   ///< likewise for in-degrees
+  std::vector<CsrDegreeSpan> out_reuse;
+  std::vector<CsrDegreeSpan> in_reuse;
+  std::vector<CsrArcRange> out_recount;
+  std::vector<CsrArcRange> in_recount;
 
   /// Round counters for benchmarks and tests (never reset by invalidate).
   i64 patched_rounds = 0;   ///< rounds served by the splice path
   i64 rebuilt_rounds = 0;   ///< cold starts and full-rebuild fallbacks
+  i64 payload_rounds = 0;   ///< pure execution-time patches on the live graph
+
+  /// Buffers re-enumerated through the stride generator by the most recent
+  /// build (buffer_count on a rebuild; 0 on a pure payload patch).
+  i64 last_regenerated_buffers = 0;
 
   void invalidate() noexcept { valid = false; }
 };
@@ -146,15 +193,21 @@ bool build_constraint_graph_into(const CsdfGraph& g, const RepetitionVector& rv,
 
 /// Incremental build: produces in `out` a graph arc-for-arc identical (same
 /// node ids, same arc ids, same payloads) to build_constraint_graph_into(g,
-/// rv, k, out), but when `cache` is valid and only a subset of tasks
-/// changed K since the graph `out` currently holds, only the buffers
-/// incident to those tasks are regenerated — every other buffer's arc span
-/// is spliced over with a constant node-id shift. Falls back to a recorded
-/// full rebuild on a cold cache or when no buffer survives untouched (the
-/// worst case: the critical circuit covered every task). Returns false iff
-/// `poll` aborted; the cache is then invalid and `out` must be rebuilt
-/// (after a mid-patch abort `out` still holds the previous round's intact
-/// graph, but it does not correspond to `k`).
+/// rv, k, out), but when `cache` is valid and holds a graph of the same
+/// shape (task/buffer counts, phase counts, endpoints), only the buffers
+/// whose content fingerprint changed — endpoint K, rates, marking, producer
+/// q — are regenerated; every other buffer's arc span is spliced over with
+/// a constant node-id shift, with L payloads rewritten in place for buffers
+/// whose producer only changed durations. `g` need NOT be the graph the
+/// cache was built from: any same-shaped variant diffs against the content
+/// snapshot, which is what lets one warm cache serve a parametric DSE batch
+/// (an execution-time-only variant patches the live graph's L payloads and
+/// re-enumerates nothing). Falls back to a recorded full rebuild on a cold
+/// cache, a shape mismatch, or when no buffer survives untouched (the worst
+/// case: the critical circuit covered every task). Returns false iff `poll`
+/// aborted; the cache is then invalid and `out` must be rebuilt (after a
+/// mid-patch abort `out` still holds the previous round's intact graph, but
+/// it does not correspond to (g, k)).
 bool build_constraint_graph_incremental(const CsdfGraph& g, const RepetitionVector& rv,
                                         const std::vector<i64>& k, ConstraintGraph& out,
                                         ConstraintGraphCache& cache,
@@ -187,12 +240,14 @@ void build_constraint_graph_reference_into(const CsdfGraph& g, const RepetitionV
 [[nodiscard]] i128 constraint_work_estimate(const CsdfGraph& g, const std::vector<i64>& k);
 
 /// Prices the round that patches the cached graph (currently encoding
-/// `k_from`) into `k`: touched buffers at the stride generator's work
-/// estimate, untouched buffers at their exact copy cost (the recorded arc
-/// span length). Falls back to constraint_work_estimate(g, k) when the
-/// cache is cold or the vectors are incomparable — so callers can always
+/// `k_from`) into (g, k): buffers whose content fingerprint changed at the
+/// stride generator's work estimate, untouched buffers at their exact copy
+/// cost (the recorded arc span length; durations-only changes count as
+/// untouched — the L rewrite is a copy-cost walk). Falls back to
+/// constraint_work_estimate(g, k) when the cache is cold, the shape
+/// mismatches, or the vectors are incomparable — so callers can always
 /// take min(pair count, full estimate, this) as the round's price.
-[[nodiscard]] i128 constraint_patch_work_estimate(const CsdfGraph& g,
+[[nodiscard]] i128 constraint_patch_work_estimate(const CsdfGraph& g, const RepetitionVector& rv,
                                                   const std::vector<i64>& k_from,
                                                   const std::vector<i64>& k,
                                                   const ConstraintGraphCache& cache);

@@ -66,9 +66,10 @@ KIterResult kiter_throughput(const CsdfGraph& g, const RepetitionVector& rv,
   Stopwatch clock;
 
   // The workspace may hold another graph's constraint state from a previous
-  // analysis: the incremental cache must never diff across graphs.
-  ws.cache.invalidate();
-
+  // analysis. That is now a feature, not a hazard: the incremental cache is
+  // content-keyed, so a same-shaped variant of the previous graph (a DSE
+  // batch neighbour) patches only what its delta changed, and anything else
+  // re-keys through a full rebuild on its own.
   std::vector<i64> k(static_cast<std::size_t>(g.task_count()), 1);
 
   // Best achievable bound seen so far, for honest ResourceLimit reports.
@@ -149,7 +150,7 @@ KIterResult kiter_throughput(const CsdfGraph& g, const RepetitionVector& rv,
       // Only a warm cache changes the price; the cold fallback inside the
       // patch estimate would just recompute the full estimate above.
       cost = std::min(cost,
-                      constraint_patch_work_estimate(g, ws.constraints.k, k, ws.cache));
+                      constraint_patch_work_estimate(g, rv, ws.constraints.k, k, ws.cache));
     }
     if (cost > options.max_constraint_pairs || out_of_budget()) {
       return finish_resource_limit(round);

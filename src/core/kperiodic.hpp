@@ -92,10 +92,13 @@ struct KEvalOptions {
 /// serves any number of consecutive analyses (see kiter_throughput).
 ///
 /// `cache` is the incremental constraint-graph engine's state over
-/// `constraints` (per-buffer arc spans + the ping-pong splice target). It
-/// is owned here so warm patched rounds stay zero-allocation; it describes
-/// one CsdfGraph at a time, and kiter_throughput invalidates it at the
-/// start of every analysis.
+/// `constraints` (per-buffer arc spans, the content snapshot of the model
+/// they were generated from, and the ping-pong splice target). It is owned
+/// here so warm patched rounds stay zero-allocation. The snapshot is
+/// content-keyed: it survives across analyses on purpose, so a worker
+/// serving a parametric DSE batch patches each same-shaped variant instead
+/// of rebuilding, while a structurally different graph re-keys through a
+/// full rebuild automatically.
 struct KIterWorkspace {
   ConstraintGraph constraints;
   ConstraintGraphCache cache;
@@ -119,14 +122,16 @@ KEvalStatus evaluate_k_periodic_round(const CsdfGraph& g, const RepetitionVector
 
 /// Incremental variant: constraint generation routes through ws.cache
 /// (build_constraint_graph_incremental) — when the cache is warm and only a
-/// subset of tasks changed K since the previous round, the graph is patched
-/// by splicing instead of fully regenerated. The patched graph is
+/// subset of the graph's content changed since the previous round (a K
+/// bump, an execution-time edit, a marking edit of a same-shaped variant),
+/// the graph is patched instead of fully regenerated. The patched graph is
 /// arc-for-arc identical to a fresh build, so every downstream result
 /// (period, critical circuit, schedule) is bit-identical to the
-/// non-incremental round. Consecutive rounds on ONE CsdfGraph may share the
-/// warm cache; before evaluating a different graph through the same
-/// workspace, ws.cache.invalidate() first (kiter_throughput does). On
-/// Aborted the cache is invalid and ws.constraints must not be read.
+/// non-incremental round. The cache is content-keyed: consecutive rounds on
+/// one CsdfGraph, or on a whole sweep of same-shaped variants, share it
+/// without any invalidation ceremony; a different-shaped graph re-keys
+/// through a full rebuild. On Aborted the cache is invalid and
+/// ws.constraints must not be read.
 KEvalStatus evaluate_k_periodic_round_incremental(const CsdfGraph& g, const RepetitionVector& rv,
                                                   const std::vector<i64>& k,
                                                   const McrpOptions& mcrp, KIterWorkspace& ws,

@@ -119,6 +119,37 @@ class Digraph {
     if (!csr_valid_) build_csr();
   }
 
+  /// True when the CSR arrays describe the current arc list (a prior
+  /// finalize() with no mutation since).
+  [[nodiscard]] bool csr_built() const noexcept { return csr_valid_; }
+
+  /// Diff-aware finalize for the incremental constraint engine: `prev` is
+  /// the graph this one was spliced from (its CSR must be valid). Node
+  /// ranges named in the degree-span lists kept their per-node arc counts
+  /// from `prev` — their slice of the counting pass is replaced by copying
+  /// `prev`'s degree spans verbatim — and only the arc ranges in the
+  /// recount lists (the regenerated buffers, plus spliced buffers whose
+  /// endpoint task also has regenerated arcs) are counted. The fill pass is
+  /// unchanged, so the resulting CSR is bit-identical to finalize()'s.
+  /// Falls back to the full counting pass when `prev`'s CSR is not built.
+  void finalize_patched(const Digraph& prev, std::span<const CsrDegreeSpan> out_reuse,
+                        std::span<const CsrArcRange> out_recount,
+                        std::span<const CsrDegreeSpan> in_reuse,
+                        std::span<const CsrArcRange> in_recount) const {
+    if (csr_valid_) return;
+    if (!prev.csr_valid_) {
+      build_csr();
+      return;
+    }
+    build_csr_index_patched(nodes_, arcs_, [](const Arc& a) { return a.src; },
+                            prev.out_offsets_, out_reuse, out_recount, out_offsets_, out_ids_,
+                            cursor_);
+    build_csr_index_patched(nodes_, arcs_, [](const Arc& a) { return a.dst; },
+                            prev.in_offsets_, in_reuse, in_recount, in_offsets_, in_ids_,
+                            cursor_);
+    csr_valid_ = true;
+  }
+
   /// Ids of arcs leaving `node`, in insertion order.
   [[nodiscard]] std::span<const std::int32_t> out_arcs(std::int32_t node) const {
     check_node(node);

@@ -48,9 +48,12 @@ class BivaluedGraph {
 
   /// Splice primitive (see Digraph::append_arcs_shifted): appends `from`'s
   /// arcs [lo, hi) with endpoints shifted by (dsrc, ddst); costs and times
-  /// copy verbatim — a constraint arc's payload depends only on its own
-  /// buffer's rates and the two endpoint tasks' K entries, which is what
-  /// makes the incremental engine's untouched-span reuse sound. `from`
+  /// copy verbatim. A constraint arc's H payload depends on its buffer's
+  /// rates, marking, producer q and the endpoint tasks' K entries; its L
+  /// payload additionally on the producer's phase durations — verbatim
+  /// copy is therefore sound only for buffers whose fingerprint matched,
+  /// and the incremental engine compensates duration-only changes by
+  /// rewriting L over the spliced span afterwards (set_cost). `from`
   /// must be a different graph (the engine splices old -> scratch).
   void append_arcs_shifted(const BivaluedGraph& from, std::int32_t lo, std::int32_t hi,
                            std::int32_t dsrc, std::int32_t ddst) {
@@ -67,6 +70,15 @@ class BivaluedGraph {
   [[nodiscard]] i64 cost(std::int32_t arc) const { return cost_.at(static_cast<std::size_t>(arc)); }
   [[nodiscard]] const Rational& time(std::int32_t arc) const {
     return time_.at(static_cast<std::size_t>(arc));
+  }
+
+  /// Rewrites one arc's cost in place. L is the only payload a pure
+  /// execution-time delta touches, and it does not feed the CSR adjacency —
+  /// so the incremental engine patches costs on the live graph without
+  /// invalidating anything (endpoints and H stay verbatim).
+  void set_cost(std::int32_t arc, i64 cost) {
+    assert(arc >= 0 && arc < arc_count());
+    cost_[static_cast<std::size_t>(arc)] = cost;
   }
 
   /// Flat payload views for solver inner loops (index by arc id, unchecked).

@@ -75,6 +75,65 @@ BufferId CsdfGraph::add_buffer(std::string name, TaskId src, TaskId dst, i64 pro
   return add_buffer(std::move(name), src, dst, prod, cons, initial_tokens);
 }
 
+void CsdfGraph::set_durations(TaskId t, std::span<const i64> durations) {
+  const Task& tk = task(t);  // bounds check
+  if (static_cast<std::int32_t>(durations.size()) != tk.phases()) {
+    throw ModelError("set_durations: task '" + tk.name + "' has " +
+                     std::to_string(tk.phases()) + " phases, got " +
+                     std::to_string(durations.size()) + " durations");
+  }
+  for (const i64 d : durations) {
+    if (d < 0) throw ModelError("set_durations: task '" + tk.name + "' given a negative duration");
+  }
+  auto& dst = tasks_[static_cast<std::size_t>(t)].durations;
+  dst.assign(durations.begin(), durations.end());
+}
+
+void CsdfGraph::set_initial_tokens(BufferId b, i64 tokens) {
+  const Buffer& buf = buffer(b);  // bounds check
+  if (tokens < 0) throw ModelError("set_initial_tokens: buffer '" + buf.name + "': negative marking");
+  buffers_[static_cast<std::size_t>(b)].initial_tokens = tokens;
+}
+
+void CsdfGraph::set_rates(BufferId b, std::span<const i64> prod, std::span<const i64> cons) {
+  const Buffer& ref = buffer(b);  // bounds check
+  if (prod.size() != ref.prod.size()) {
+    throw ModelError("set_rates: buffer '" + ref.name + "': production vector size " +
+                     std::to_string(prod.size()) + " != phi(src) = " +
+                     std::to_string(ref.prod.size()));
+  }
+  if (cons.size() != ref.cons.size()) {
+    throw ModelError("set_rates: buffer '" + ref.name + "': consumption vector size " +
+                     std::to_string(cons.size()) + " != phi(dst) = " +
+                     std::to_string(ref.cons.size()));
+  }
+  Buffer& buf = buffers_[static_cast<std::size_t>(b)];
+  // Validate before mutating so a throw leaves the buffer untouched.
+  i64 total_prod = 0;
+  for (const i64 r : prod) {
+    if (r < 0) throw ModelError("set_rates: buffer '" + buf.name + "': negative production rate");
+    total_prod = checked_add(total_prod, r);
+  }
+  i64 total_cons = 0;
+  for (const i64 r : cons) {
+    if (r < 0) throw ModelError("set_rates: buffer '" + buf.name + "': negative consumption rate");
+    total_cons = checked_add(total_cons, r);
+  }
+  if (total_prod <= 0) throw ModelError("set_rates: buffer '" + buf.name + "': i_b must be positive");
+  if (total_cons <= 0) throw ModelError("set_rates: buffer '" + buf.name + "': o_b must be positive");
+
+  buf.prod.assign(prod.begin(), prod.end());
+  buf.cons.assign(cons.begin(), cons.end());
+  buf.total_prod = total_prod;
+  buf.total_cons = total_cons;
+  for (std::size_t p = 0; p < buf.prod.size(); ++p) {
+    buf.cum_prod[p + 1] = buf.cum_prod[p] + buf.prod[p];
+  }
+  for (std::size_t p = 0; p < buf.cons.size(); ++p) {
+    buf.cum_cons[p + 1] = buf.cum_cons[p] + buf.cons[p];
+  }
+}
+
 const Task& CsdfGraph::task(TaskId t) const {
   if (t < 0 || t >= task_count()) throw ModelError("bad task id " + std::to_string(t));
   return tasks_[static_cast<std::size_t>(t)];

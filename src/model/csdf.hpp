@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -78,6 +79,24 @@ class CsdfGraph {
   /// SDF convenience: scalar rates.
   BufferId add_buffer(std::string name, TaskId src, TaskId dst, i64 prod_rate, i64 cons_rate,
                       i64 initial_tokens);
+
+  // ---- parametric mutation (model/transform.hpp, GraphDelta) --------------
+  // Design-space exploration perturbs one knob of an otherwise-fixed graph
+  // thousands of times; these setters mutate in place (retaining every
+  // vector's storage) instead of forcing a full-graph copy per variant.
+  // None of them may change the graph's shape: phase counts, task/buffer
+  // counts and endpoints are construction-time decisions.
+
+  /// Replaces t's phase durations. `durations` must have exactly phi(t)
+  /// entries, each >= 0 (changing the phase count is a structural edit).
+  void set_durations(TaskId t, std::span<const i64> durations);
+
+  /// Replaces b's initial marking (>= 0).
+  void set_initial_tokens(BufferId b, i64 tokens);
+
+  /// Replaces b's rate vectors (sizes phi(src) / phi(dst), totals positive)
+  /// and recomputes the cached totals and cumulative sums in place.
+  void set_rates(BufferId b, std::span<const i64> prod, std::span<const i64> cons);
 
   // ---- access --------------------------------------------------------------
 

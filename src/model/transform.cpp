@@ -97,4 +97,42 @@ CsdfGraph expand_phases(const CsdfGraph& g, const std::vector<i64>& k) {
   return out;
 }
 
+void apply_delta(CsdfGraph& g, const GraphDelta& d) {
+  for (const GraphDelta::ExecTime& e : d.exec_times) g.set_durations(e.task, e.durations);
+  for (const GraphDelta::Marking& m : d.markings) g.set_initial_tokens(m.buffer, m.initial_tokens);
+  for (const GraphDelta::Rates& r : d.rates) g.set_rates(r.buffer, r.prod, r.cons);
+}
+
+void revert_delta(CsdfGraph& g, const GraphDelta& d, const CsdfGraph& base) {
+  for (const GraphDelta::ExecTime& e : d.exec_times) {
+    g.set_durations(e.task, base.task(e.task).durations);
+  }
+  for (const GraphDelta::Marking& m : d.markings) {
+    g.set_initial_tokens(m.buffer, base.buffer(m.buffer).initial_tokens);
+  }
+  for (const GraphDelta::Rates& r : d.rates) {
+    const Buffer& b = base.buffer(r.buffer);
+    g.set_rates(r.buffer, b.prod, b.cons);
+  }
+}
+
+CsdfGraph make_variant(const CsdfGraph& base, const GraphDelta& d) {
+  CsdfGraph out = base;
+  apply_delta(out, d);
+  return out;
+}
+
+std::vector<GraphDelta> exec_time_sweep(const CsdfGraph& base, TaskId task,
+                                        std::span<const i64> values) {
+  const auto phi = static_cast<std::size_t>(base.phases(task));  // bounds-checks `task`
+  std::vector<GraphDelta> out;
+  out.reserve(values.size());
+  for (const i64 v : values) {
+    GraphDelta d;
+    d.exec_times.push_back({task, std::vector<i64>(phi, v)});
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
 }  // namespace kp

@@ -12,6 +12,7 @@
 //   the two agree.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "model/csdf.hpp"
@@ -44,5 +45,63 @@ namespace kp {
 /// (phases, durations, productions, consumptions); markings unchanged.
 /// The result has phi~(t) = K_t * phi(t).
 [[nodiscard]] CsdfGraph expand_phases(const CsdfGraph& g, const std::vector<i64>& k);
+
+// ---- parametric variants (design-space exploration) -------------------------
+//
+// A DSE batch evaluates thousands of near-identical variants of one base
+// graph: one actor's execution time, one buffer's marking, or one buffer's
+// rate vectors perturbed per point. GraphDelta is the difference object the
+// variant API (ThroughputService::analyze_variants) ships instead of whole
+// graphs — it names only the touched knobs, so a worker can revert the
+// previous variant and apply the next one in O(delta) without copying the
+// graph, and the content-keyed constraint cache (core/constraints.hpp) sees
+// exactly the fields that changed.
+
+/// One variant = the base graph with these edits applied. Ids refer to the
+/// base graph; every edit must keep the graph's shape (phase counts,
+/// endpoints) — structural changes mean a new base, not a delta.
+struct GraphDelta {
+  struct ExecTime {
+    TaskId task = -1;
+    std::vector<i64> durations;  ///< phi(task) entries, each >= 0
+  };
+  struct Marking {
+    BufferId buffer = -1;
+    i64 initial_tokens = 0;  ///< >= 0
+  };
+  struct Rates {
+    BufferId buffer = -1;
+    std::vector<i64> prod;  ///< phi(src) entries
+    std::vector<i64> cons;  ///< phi(dst) entries
+  };
+
+  std::vector<ExecTime> exec_times;
+  std::vector<Marking> markings;
+  std::vector<Rates> rates;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return exec_times.empty() && markings.empty() && rates.empty();
+  }
+};
+
+/// Applies `d` to `g` in place (throws ModelError on bad ids/sizes/values;
+/// `g` may then hold a prefix of the edits — revert against the base to
+/// recover). Consistency is not re-checked here: a rates edit may make the
+/// graph inconsistent, which the analyses report per request.
+void apply_delta(CsdfGraph& g, const GraphDelta& d);
+
+/// Restores the base values of every field `d` names, turning a variant
+/// back into `base` (g must be base + d, or at least agree with base
+/// everywhere outside d). The revert+apply pair is what lets one worker
+/// graph serve a whole variant sweep without per-variant copies.
+void revert_delta(CsdfGraph& g, const GraphDelta& d, const CsdfGraph& base);
+
+/// Copy-then-apply convenience (the cold-oracle path of the variant tests).
+[[nodiscard]] CsdfGraph make_variant(const CsdfGraph& base, const GraphDelta& d);
+
+/// One delta per value: every phase of `task` gets duration `value` — the
+/// classic "sweep one actor's execution time" DSE axis.
+[[nodiscard]] std::vector<GraphDelta> exec_time_sweep(const CsdfGraph& base, TaskId task,
+                                                      std::span<const i64> values);
 
 }  // namespace kp

@@ -1,0 +1,56 @@
+// Allocation-counting global operator new/delete for the zero-allocation
+// gates (warm K-rounds, warm patches, warm variant patches). Include from
+// exactly ONE translation unit per test binary — the replaceable operators
+// are defined here so every allocation in the binary is counted.
+//
+// Count a window with:
+//   const std::uint64_t before = g_alloc_count.load();
+//   ...code under test...
+//   EXPECT_EQ(g_alloc_count.load() - before, 0u);
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+inline std::atomic<std::uint64_t> g_alloc_count{0};
+
+namespace kp_alloc_hook {
+
+inline void* counted_alloc(std::size_t n) {
+  ++g_alloc_count;
+  if (void* p = std::malloc(n == 0 ? 1 : n)) return p;
+  throw std::bad_alloc();
+}
+
+inline void* counted_alloc(std::size_t n, std::align_val_t al) {
+  ++g_alloc_count;
+  void* p = nullptr;
+  if (posix_memalign(&p, std::max(static_cast<std::size_t>(al), sizeof(void*)),
+                     n == 0 ? 1 : n) == 0) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+}  // namespace kp_alloc_hook
+
+void* operator new(std::size_t n) { return kp_alloc_hook::counted_alloc(n); }
+void* operator new[](std::size_t n) { return kp_alloc_hook::counted_alloc(n); }
+void* operator new(std::size_t n, std::align_val_t al) {
+  return kp_alloc_hook::counted_alloc(n, al);
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  return kp_alloc_hook::counted_alloc(n, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }

@@ -17,12 +17,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
-#include <atomic>
-#include <cstdlib>
-#include <new>
 #include <tuple>
 #include <vector>
 
+#include "alloc_hook.hpp"
 #include "core/constraints.hpp"
 #include "core/kiter.hpp"
 #include "core/kperiodic.hpp"
@@ -30,40 +28,6 @@
 #include "gen/random_csdf.hpp"
 #include "mcrp/cycle_ratio.hpp"
 #include "model/repetition.hpp"
-
-// ---- allocation-counting hook (see test_hotpath.cpp) ------------------------
-namespace {
-std::atomic<std::uint64_t> g_alloc_count{0};
-
-void* counted_alloc(std::size_t n) {
-  ++g_alloc_count;
-  if (void* p = std::malloc(n == 0 ? 1 : n)) return p;
-  throw std::bad_alloc();
-}
-
-void* counted_alloc(std::size_t n, std::align_val_t al) {
-  ++g_alloc_count;
-  void* p = nullptr;
-  if (posix_memalign(&p, std::max(static_cast<std::size_t>(al), sizeof(void*)),
-                     n == 0 ? 1 : n) == 0) {
-    return p;
-  }
-  throw std::bad_alloc();
-}
-}  // namespace
-
-void* operator new(std::size_t n) { return counted_alloc(n); }
-void* operator new[](std::size_t n) { return counted_alloc(n); }
-void* operator new(std::size_t n, std::align_val_t al) { return counted_alloc(n, al); }
-void* operator new[](std::size_t n, std::align_val_t al) { return counted_alloc(n, al); }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
 
 namespace kp {
 namespace {
