@@ -68,6 +68,19 @@ struct Analysis {
   double elapsed_ms = 0.0;  // execution time on the serving worker
   std::string detail;  // human-readable extras (final K, state counts, ...)
 
+  // Solver-effort observability (KIter and Periodic fill these; other
+  // methods leave zeros). `rounds` counts completed K-iteration rounds —
+  // warm-started variants typically report 1 where a cold run reports
+  // several; the values above are identical either way. The iteration
+  // counts sum MCRP candidate-circuit improvements and Howard policy steps
+  // across all rounds; build/solve split the round wall-clock into
+  // constraint generation vs MCRP solve.
+  int rounds = 0;
+  i64 mcrp_iterations = 0;
+  i64 howard_iterations = 0;
+  double build_ms = 0.0;
+  double solve_ms = 0.0;
+
   // Service metadata, filled by ThroughputService (defaults for plain
   // one-shot calls):
   i64 request_id = -1;    ///< batch index, or the ticket submit() returned

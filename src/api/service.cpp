@@ -62,19 +62,33 @@ struct PollChain {
 };
 
 Analysis run_kiter(const CsdfGraph& g, const AnalysisOptions& options, double deadline_ms,
-                   const CancelToken& cancel, KIterWorkspace& ws) {
+                   const CancelToken& cancel, KIterWorkspace& ws,
+                   std::vector<i64>* warm_k = nullptr, bool* warm_k_valid = nullptr) {
   Analysis a;
   KIterOptions kiter = options.kiter;
   kiter.time_budget_ms = tighten_budget(kiter.time_budget_ms, deadline_ms);
+  // The service never surfaces the schedule (Analysis carries values only),
+  // so the final potentials relaxation is skipped for every request — warm
+  // and cold alike, keeping the two comparable.
+  kiter.want_schedule = false;
+  // Cross-variant warm start: seed from the previous Optimal variant's
+  // final K. kiter copies the seed once at entry, so aliasing the sink
+  // below is fine.
+  if (warm_k != nullptr && *warm_k_valid) kiter.initial_k = warm_k;
   PollChain chain{options.kiter.poll, options.kiter.poll_ctx, cancel.flag()};
   if (chain.flag != nullptr) {
     kiter.poll = &PollChain::hook;
     kiter.poll_ctx = &chain;
   }
 
-  const KIterResult r = kiter_throughput(g, compute_repetition_vector(g), kiter, ws);
+  KIterResult r = kiter_throughput(g, compute_repetition_vector(g), kiter, ws);
   std::ostringstream detail;
   detail << "rounds=" << r.rounds << " " << k_to_string(r.k);
+  a.rounds = r.rounds;
+  a.mcrp_iterations = r.mcrp_iterations;
+  a.howard_iterations = r.howard_iterations;
+  a.build_ms = r.build_ms;
+  a.solve_ms = r.solve_ms;
   switch (r.status) {
     case ThroughputStatus::Optimal:
       a.outcome = Outcome::Value;
@@ -103,6 +117,20 @@ Analysis run_kiter(const CsdfGraph& g, const AnalysisOptions& options, double de
       }
       break;
   }
+  // Warm-state lifecycle: only a completed Optimal run leaves a seed worth
+  // reusing. Any other exit — Deadlock, Unbounded, budget, cancellation —
+  // is a hard warm-state boundary: drop the K seed AND force the next
+  // Howard solve cold, so a sweep's results after a fallback variant are
+  // bit-identical to a cold sweep's.
+  if (warm_k != nullptr) {
+    if (r.status == ThroughputStatus::Optimal) {
+      *warm_k = std::move(r.k);
+      *warm_k_valid = true;
+    } else {
+      *warm_k_valid = false;
+      ws.mcrp.reset_warm_start();
+    }
+  }
   a.detail = detail.str();
   return a;
 }
@@ -114,6 +142,7 @@ Analysis run_periodic(const CsdfGraph& g, const AnalysisOptions& options) {
   eval.mcrp = options.kiter.mcrp;
   eval.want_schedule = false;
   const KPeriodicResult r = periodic_schedule(g, rv, eval);
+  a.mcrp_iterations = r.mcrp_iterations;
   switch (r.status) {
     case KEvalStatus::Feasible:
       a.outcome = Outcome::Value;
@@ -206,7 +235,8 @@ Analysis run_expansion(const CsdfGraph& g, const AnalysisOptions& options) {
 /// execution path every service entry point funnels through — batch, async
 /// and inline analyses of the same request are therefore identical.
 Analysis execute_request(const CsdfGraph& graph, Method method, const AnalysisOptions& options,
-                         double deadline_ms, const CancelToken& cancel, KIterWorkspace& ws) {
+                         double deadline_ms, const CancelToken& cancel, KIterWorkspace& ws,
+                         std::vector<i64>* warm_k = nullptr, bool* warm_k_valid = nullptr) {
   Stopwatch clock;
   Analysis a;
   if (cancel.cancelled()) {
@@ -214,6 +244,11 @@ Analysis execute_request(const CsdfGraph& graph, Method method, const AnalysisOp
     a.outcome = Outcome::Budget;
     a.detail = "cancelled before execution";
     a.elapsed_ms = clock.elapsed_ms();
+    // Cancellation is a warm-state boundary like any other fallback.
+    if (warm_k_valid != nullptr) {
+      *warm_k_valid = false;
+      ws.mcrp.reset_warm_start();
+    }
     return a;
   }
   CsdfGraph serialized;
@@ -221,7 +256,7 @@ Analysis execute_request(const CsdfGraph& graph, Method method, const AnalysisOp
   const CsdfGraph& prepared = options.serialize_tasks ? serialized : graph;
   switch (method) {
     case Method::KIter:
-      a = run_kiter(prepared, options, deadline_ms, cancel, ws);
+      a = run_kiter(prepared, options, deadline_ms, cancel, ws, warm_k, warm_k_valid);
       break;
     case Method::Periodic:
       a = run_periodic(prepared, options);
@@ -358,6 +393,10 @@ Analysis ThroughputService::run_variant(const VariantRun& run, std::size_t index
     worker.variant_graph = *run.prepared;
     worker.variant_gen = run.gen;
     worker.variant_applied = -1;
+    // Batch start is a warm-state boundary: never seed the first variant of
+    // a batch from whatever the worker solved last.
+    worker.warm_k_valid = false;
+    worker.workspace.mcrp.reset_warm_start();
   }
   const std::vector<GraphDelta>& deltas = run.batch->deltas;
   try {
@@ -378,8 +417,19 @@ Analysis ThroughputService::run_variant(const VariantRun& run, std::size_t index
   // second layer of self-buffers.
   AnalysisOptions options = run.batch->options;
   options.serialize_tasks = false;
+  const bool warm = run.batch->warm_start && run.batch->method == Method::KIter;
+  if (warm && !deltas[index].rates.empty()) {
+    // A rate delta changes the repetition vector, so the previous variant's
+    // K is meaningless here (kiter would sanitize it entry-by-entry, but an
+    // rv change is a declared fallback boundary: go fully cold).
+    worker.warm_k_valid = false;
+    worker.workspace.mcrp.reset_warm_start();
+  }
+  if (warm) options.kiter.mcrp.howard_warm_start = true;
   return execute_request(worker.variant_graph, run.batch->method, options,
-                         run.batch->deadline_ms, run.batch->cancel, worker.workspace);
+                         run.batch->deadline_ms, run.batch->cancel, worker.workspace,
+                         warm ? &worker.warm_k : nullptr,
+                         warm ? &worker.warm_k_valid : nullptr);
 }
 
 std::vector<Analysis> ThroughputService::dispatch_and_wait(

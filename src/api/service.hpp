@@ -126,6 +126,21 @@ struct VariantBatch {
   /// worker; < 0 disables.
   double deadline_ms = -1.0;
 
+  /// Warm-start the solvers across the batch's variants (KIter only): each
+  /// worker seeds every variant's periodicity vector with the final K of
+  /// the previous variant it solved (KIterOptions::initial_k) and lets
+  /// Howard's policy iteration resume from its previous policy when the
+  /// constraint graph was payload-patched in place (McrpOptions::
+  /// howard_warm_start). Values — throughput, period, Deadlock/Unbounded
+  /// classification — are identical to a cold sweep; only the trajectory
+  /// metadata (Analysis::rounds, the final K in `detail`, iteration counts)
+  /// may differ, which is why this is a batch-level switch: turn it off to
+  /// get PR 4's bit-identical-to-cold detail strings back. Warm state is
+  /// per worker and resets at batch start and after any fallback (base
+  /// re-materialization, rate-changing delta, Deadlock/Unbounded/budget
+  /// outcome), so sweep order never leaks across those boundaries.
+  bool warm_start = true;
+
   /// Shared across the batch: cancelling stops every variant that has not
   /// finished (started ones stop cooperatively, unstarted ones report
   /// Outcome::Budget).
@@ -194,6 +209,12 @@ class ThroughputService {
     u64 variant_gen = 0;
     std::ptrdiff_t variant_applied = -1;  ///< delta currently applied, -1 = base
     CsdfGraph variant_graph;
+
+    // Cross-variant warm-start state (VariantBatch::warm_start): the final
+    // periodicity vector of the last Optimal variant this worker solved in
+    // the current batch. Invalid at batch start and after any fallback.
+    bool warm_k_valid = false;
+    std::vector<i64> warm_k;
   };
 
   void worker_loop(int worker_id);

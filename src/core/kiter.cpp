@@ -70,7 +70,19 @@ KIterResult kiter_throughput(const CsdfGraph& g, const RepetitionVector& rv,
   // content-keyed, so a same-shaped variant of the previous graph (a DSE
   // batch neighbour) patches only what its delta changed, and anything else
   // re-keys through a full rebuild on its own.
+  ws.round_build_ms = 0.0;
+  ws.round_solve_ms = 0.0;
+
+  // Cold start K = 1, or the caller's warm seed where each entry upholds
+  // the K_t | q_t invariant (anything else falls back to 1 per task, so a
+  // stale or mis-sized seed degrades to the cold start, never breaks).
   std::vector<i64> k(static_cast<std::size_t>(g.task_count()), 1);
+  if (options.initial_k != nullptr && options.initial_k->size() == k.size()) {
+    for (std::size_t t = 0; t < k.size(); ++t) {
+      const i64 seed = (*options.initial_k)[t];
+      if (seed >= 1 && rv.of(static_cast<TaskId>(t)) % seed == 0) k[t] = seed;
+    }
+  }
 
   // Best achievable bound seen so far, for honest ResourceLimit reports.
   // Its schedule is extracted once at exit, not every improving round.
@@ -126,16 +138,25 @@ KIterResult kiter_throughput(const CsdfGraph& g, const RepetitionVector& rv,
   // round — whether the full-build or the incremental-patch path was
   // generating — reports the same count the between-rounds budget check
   // would, so KIterResult::rounds == trace.size() on every exit.
+  // Phase-time/effort snapshot shared by every exit path.
+  auto snapshot_effort = [&]() {
+    result.build_ms = ws.round_build_ms;
+    result.solve_ms = ws.round_solve_ms;
+  };
+
   auto finish_resource_limit = [&](int rounds_done) {
     result.status = ThroughputStatus::ResourceLimit;
     result.cancelled = poll_state.cancelled;
     result.k = k;
     result.rounds = rounds_done;
+    snapshot_effort();
     // Structural exits (pair guard, max_rounds) re-evaluate the best K once
     // to report its schedule; deadline/cancel exits skip that extra round so
     // they return promptly — the bound period itself is still reported.
     const bool time_exit = poll_state.cancelled || poll_state.timed_out;
-    if (result.has_feasible_bound && !time_exit) result.schedule = extract_schedule(best_k);
+    if (result.has_feasible_bound && !time_exit && options.want_schedule) {
+      result.schedule = extract_schedule(best_k);
+    }
     return result;
   };
 
@@ -164,6 +185,8 @@ KIterResult kiter_throughput(const CsdfGraph& g, const RepetitionVector& rv,
             : evaluate_k_periodic_round(g, rv, k, options.mcrp, ws, poll);
     if (status == KEvalStatus::Aborted) return finish_resource_limit(round);
     result.rounds = round + 1;
+    result.mcrp_iterations += ws.solved.iterations;
+    result.howard_iterations += ws.solved.howard_iterations;
 
     if (options.record_trace) {
       KIterRound r;
@@ -185,7 +208,8 @@ KIterResult kiter_throughput(const CsdfGraph& g, const RepetitionVector& rv,
       result.throughput = Rational{0};
       result.k = k;
       result.critical_tasks = ws.critical_tasks;
-      result.schedule = extract_schedule_warm(k);
+      snapshot_effort();
+      if (options.want_schedule) result.schedule = extract_schedule_warm(k);
       return result;
     }
 
@@ -199,6 +223,7 @@ KIterResult kiter_throughput(const CsdfGraph& g, const RepetitionVector& rv,
       result.critical_tasks = ws.critical_tasks;
       result.critical_description =
           ws.constraints.describe_circuit(g, ws.solved.critical_cycle);
+      snapshot_effort();
       if (status == KEvalStatus::InfeasibleK) {
         // The circuit's induced subgraph cannot be scheduled even at the K
         // that is optimal for it: the graph deadlocks.
@@ -210,7 +235,7 @@ KIterResult kiter_throughput(const CsdfGraph& g, const RepetitionVector& rv,
         result.period = ws.solved.ratio;
         result.throughput = result.period.reciprocal();
         result.has_feasible_bound = true;
-        result.schedule = extract_schedule_warm(k);
+        if (options.want_schedule) result.schedule = extract_schedule_warm(k);
       }
       return result;
     }

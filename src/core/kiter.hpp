@@ -65,6 +65,27 @@ struct KIterOptions {
   McrpOptions mcrp{};
   KUpdatePolicy policy = KUpdatePolicy::PaperLcm;
 
+  /// Warm-start seed for the periodicity vector (off by default: nullptr =
+  /// the all-ones cold start of Algorithm 1). The iteration converges to
+  /// the same throughput value and the same Deadlock/Unbounded
+  /// classification from ANY valid start — Theorem 4 certifies the value at
+  /// whatever K it first passes, and the update rule still grows K along
+  /// failing circuits — so a seed only changes the trajectory (`rounds`,
+  /// the final `k`, possibly which co-critical circuit is reported). Each
+  /// entry is used only if it is a positive divisor of that task's
+  /// repetition count (the K_t | q_t invariant); invalid entries — and a
+  /// vector of the wrong length entirely — fall back to 1, so stale seeds
+  /// degrade to the cold start instead of breaking anything. The pointee
+  /// is copied once at entry and may alias storage the caller later
+  /// overwrites with the result's final K (the DSE service does exactly
+  /// that).
+  const std::vector<i64>* initial_k = nullptr;
+
+  /// Extract the schedule on Optimal/Unbounded/best-bound exits. Callers
+  /// that only consume period/throughput/classification (the DSE service)
+  /// turn this off to skip the final potentials relaxation.
+  bool want_schedule = true;
+
   /// Route constraint generation through the workspace's incremental engine
   /// (core/constraints.hpp, ConstraintGraphCache): after the cold first
   /// round, each round regenerates only the buffers incident to tasks whose
@@ -136,11 +157,22 @@ struct KIterResult {
   int rounds = 0;
   std::vector<KIterRound> trace;
 
+  /// Solver-effort observability over the completed rounds: candidate-
+  /// circuit improvements (exact + accelerated) and Howard policy-iteration
+  /// steps summed across all MCRP solves, plus wall-clock split into
+  /// constraint generation (build or patch) vs MCRP solve. Time not in
+  /// either bucket is round overhead (optimality test, K update, schedule
+  /// extraction). Warm-started runs show these collapse.
+  i64 mcrp_iterations = 0;
+  i64 howard_iterations = 0;
+  double build_ms = 0.0;
+  double solve_ms = 0.0;
+
   std::vector<TaskId> critical_tasks;
   std::string critical_description;
 
   /// The schedule achieving `period` (valid when Optimal, or when
-  /// ResourceLimit with has_feasible_bound).
+  /// ResourceLimit with has_feasible_bound — and options.want_schedule).
   KPeriodicSchedule schedule;
 };
 

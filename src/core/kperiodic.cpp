@@ -1,5 +1,7 @@
 #include "core/kperiodic.hpp"
 
+#include "util/stopwatch.hpp"
+
 namespace kp {
 
 namespace {
@@ -8,7 +10,9 @@ namespace {
 KEvalStatus solve_round(const McrpOptions& mcrp, KIterWorkspace& ws) {
   McrpOptions options = mcrp;
   options.compute_potentials = false;
+  const Stopwatch solve_clock;
   solve_max_cycle_ratio(ws.constraints.graph, options, ws.mcrp, ws.solved);
+  ws.round_solve_ms += solve_clock.elapsed_ms();
   ws.constraints.tasks_on_circuit_into(ws.solved.critical_cycle, ws.task_seen,
                                        ws.critical_tasks);
   if (ws.solved.status == McrpStatus::Infeasible) return KEvalStatus::InfeasibleK;
@@ -25,9 +29,10 @@ KEvalStatus evaluate_k_periodic_round(const CsdfGraph& g, const RepetitionVector
   // This build bypasses the span bookkeeping, so the incremental cache no
   // longer describes ws.constraints.
   ws.cache.invalidate();
-  if (!build_constraint_graph_into(g, rv, k, ws.constraints, poll)) {
-    return KEvalStatus::Aborted;
-  }
+  const Stopwatch build_clock;
+  const bool built = build_constraint_graph_into(g, rv, k, ws.constraints, poll);
+  ws.round_build_ms += build_clock.elapsed_ms();
+  if (!built) return KEvalStatus::Aborted;
   return solve_round(mcrp, ws);
 }
 
@@ -35,9 +40,10 @@ KEvalStatus evaluate_k_periodic_round_incremental(const CsdfGraph& g, const Repe
                                                   const std::vector<i64>& k,
                                                   const McrpOptions& mcrp, KIterWorkspace& ws,
                                                   const ConstraintPoll* poll) {
-  if (!build_constraint_graph_incremental(g, rv, k, ws.constraints, ws.cache, poll)) {
-    return KEvalStatus::Aborted;
-  }
+  const Stopwatch build_clock;
+  const bool built = build_constraint_graph_incremental(g, rv, k, ws.constraints, ws.cache, poll);
+  ws.round_build_ms += build_clock.elapsed_ms();
+  if (!built) return KEvalStatus::Aborted;
   return solve_round(mcrp, ws);
 }
 

@@ -106,6 +106,13 @@ struct KIterWorkspace {
   McrpResult solved;
   std::vector<TaskId> critical_tasks;
   std::vector<std::int8_t> task_seen;
+
+  /// Per-analysis phase-time accumulators, maintained by the round
+  /// entry points: constraint generation (build or patch) vs MCRP solve.
+  /// kiter_throughput zeroes them at entry and snapshots them into
+  /// KIterResult at exit; anything not in either bucket is round overhead.
+  double round_build_ms = 0.0;
+  double round_solve_ms = 0.0;
 };
 
 /// One allocation-free (when warm) evaluation round: builds the constraint

@@ -14,6 +14,7 @@
 //     "N/S" rows). Solvers must detect and report these.
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <string>
@@ -35,14 +36,19 @@ class BivaluedGraph {
     g_.reset(nodes);
     cost_.clear();
     time_.clear();
+    stamp_ = 0;
   }
 
-  std::int32_t add_node() { return g_.add_node(); }
+  std::int32_t add_node() {
+    stamp_ = 0;
+    return g_.add_node();
+  }
 
   std::int32_t add_arc(std::int32_t src, std::int32_t dst, i64 cost, Rational time) {
     const std::int32_t id = g_.add_arc(src, dst);
     cost_.push_back(cost);
     time_.push_back(std::move(time));
+    stamp_ = 0;
     return id;
   }
 
@@ -61,6 +67,7 @@ class BivaluedGraph {
     g_.append_arcs_shifted(from.g_, lo, hi, dsrc, ddst);
     cost_.insert(cost_.end(), from.cost_.begin() + lo, from.cost_.begin() + hi);
     time_.insert(time_.end(), from.time_.begin() + lo, from.time_.begin() + hi);
+    stamp_ = 0;
   }
 
   [[nodiscard]] const Digraph& graph() const noexcept { return g_; }
@@ -75,10 +82,29 @@ class BivaluedGraph {
   /// Rewrites one arc's cost in place. L is the only payload a pure
   /// execution-time delta touches, and it does not feed the CSR adjacency —
   /// so the incremental engine patches costs on the live graph without
-  /// invalidating anything (endpoints and H stay verbatim).
+  /// invalidating anything (endpoints and H stay verbatim). The layout
+  /// stamp survives on purpose: a cost rewrite is exactly the change
+  /// Howard's warm start (mcrp/howard.hpp) is allowed to see through.
   void set_cost(std::int32_t arc, i64 cost) {
     assert(arc >= 0 && arc < arc_count());
     cost_[static_cast<std::size_t>(arc)] = cost;
+  }
+
+  /// Structural-identity stamp for solver warm starts: two graphs (or one
+  /// graph at two times) reporting the same stamp have identical node/arc
+  /// layout AND identical H payloads — only L costs may differ, because
+  /// set_cost is the one mutator that preserves the stamp. Stamps are
+  /// assigned lazily from a process-wide counter, so a fresh stamp is
+  /// unique; copies keep the source's stamp (their layout is identical by
+  /// construction), and every structural mutation clears it so the next
+  /// query mints a new one. Like the lazy CSR build, the first query after
+  /// a mutation is not reentrant — do not race it across threads.
+  [[nodiscard]] std::uint64_t layout_stamp() const noexcept {
+    if (stamp_ == 0) {
+      static std::atomic<std::uint64_t> counter{0};
+      stamp_ = counter.fetch_add(1, std::memory_order_relaxed) + 1;
+    }
+    return stamp_;
   }
 
   /// Flat payload views for solver inner loops (index by arc id, unchecked).
@@ -103,6 +129,7 @@ class BivaluedGraph {
   Digraph g_;
   std::vector<i64> cost_;
   std::vector<Rational> time_;
+  mutable std::uint64_t stamp_ = 0;  // 0 = unassigned (see layout_stamp)
 };
 
 }  // namespace kp

@@ -157,6 +157,7 @@ void solve_max_cycle_ratio(const BivaluedGraph& bg, const McrpOptions& options,
   out.potentials.clear();
   out.iterations = 0;
   out.exact_iterations = 0;
+  out.howard_iterations = 0;
 
   const Digraph& g = bg.graph();
   const std::int32_t n = g.node_count();
@@ -164,18 +165,29 @@ void solve_max_cycle_ratio(const BivaluedGraph& bg, const McrpOptions& options,
   const std::span<const i64> costs = bg.costs();
   const std::span<const Rational> times = bg.times();
 
-  // Circuits live inside strongly connected components; restrict the cycle
-  // search to arcs whose endpoints share an SCC.
-  strongly_connected_components(g, scratch.scc, scratch.scc_result);
-  const SccResult& scc = scratch.scc_result;
+  // The cyclic core and its CSR depend only on topology, which the layout
+  // stamp certifies unchanged (only L costs may have been rewritten via
+  // set_cost since the scratch last saw this graph) — so a warm solve
+  // skips the SCC pass and both derivations. Recorded unconditionally
+  // after a cold derivation so a later warm call can reuse it.
+  const std::uint64_t stamp = bg.layout_stamp();
+  const bool reuse_core = options.howard_warm_start && scratch.warm_stamp == stamp &&
+                          scratch.warm_nodes == n && scratch.warm_arcs == g.arc_count();
   auto& cyclic = scratch.cyclic;
-  cyclic.clear();
-  const std::span<const Digraph::Arc> all_arcs = g.arcs();
-  for (std::int32_t a = 0; a < g.arc_count(); ++a) {
-    const auto& e = all_arcs[static_cast<std::size_t>(a)];
-    if (scc.component_of[static_cast<std::size_t>(e.src)] ==
-        scc.component_of[static_cast<std::size_t>(e.dst)]) {
-      cyclic.push_back(ArcRef{a, e.src, e.dst});
+  if (!reuse_core) {
+    scratch.warm_stamp = 0;
+    // Circuits live inside strongly connected components; restrict the
+    // cycle search to arcs whose endpoints share an SCC.
+    strongly_connected_components(g, scratch.scc, scratch.scc_result);
+    const SccResult& scc = scratch.scc_result;
+    cyclic.clear();
+    const std::span<const Digraph::Arc> all_arcs = g.arcs();
+    for (std::int32_t a = 0; a < g.arc_count(); ++a) {
+      const auto& e = all_arcs[static_cast<std::size_t>(a)];
+      if (scc.component_of[static_cast<std::size_t>(e.src)] ==
+          scc.component_of[static_cast<std::size_t>(e.dst)]) {
+        cyclic.push_back(ArcRef{a, e.src, e.dst});
+      }
     }
   }
 
@@ -190,9 +202,14 @@ void solve_max_cycle_ratio(const BivaluedGraph& bg, const McrpOptions& options,
   };
 
   if (!cyclic.empty()) {
-    // CSR adjacency over the cyclic core, built once per solve.
-    build_csr_index(n, cyclic, [](const ArcRef& a) { return a.src; }, scratch.out_offsets,
-                    scratch.out_ids, scratch.cursor);
+    if (!reuse_core) {
+      // CSR adjacency over the cyclic core, built once per cold solve.
+      build_csr_index(n, cyclic, [](const ArcRef& a) { return a.src; }, scratch.out_offsets,
+                      scratch.out_ids, scratch.cursor);
+      scratch.warm_stamp = stamp;
+      scratch.warm_nodes = n;
+      scratch.warm_arcs = g.arc_count();
+    }
 
     // ---- accelerated phase: Howard warm start ------------------------------
     // Double-precision policy iteration usually lands on (or next to) the
@@ -201,8 +218,10 @@ void solve_max_cycle_ratio(const BivaluedGraph& bg, const McrpOptions& options,
     // any numeric trouble just falls through to the exact phase.
     if (options.accelerate_with_double) {
       try {
-        howard_max_ratio(bg, kHowardDefaultMaxIterations, scratch.howard, scratch.howard_result);
+        howard_max_ratio(bg, kHowardDefaultMaxIterations, scratch.howard, scratch.howard_result,
+                         options.howard_warm_start);
         const HowardResult& howard = scratch.howard_result;
+        out.howard_iterations = howard.iterations;
         if (!howard.cycle.empty()) {
           i64 lc = 0;
           Rational hc;

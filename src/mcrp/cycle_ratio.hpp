@@ -57,11 +57,25 @@ struct McrpResult {
   int iterations = 0;
   /// Improvements performed with exact arithmetic only.
   int exact_iterations = 0;
+  /// Policy-iteration steps spent in the Howard pre-pass (0 when the
+  /// pre-pass is disabled or the graph has no cyclic core). Observability
+  /// for warm starts: a warm re-solve typically reports 1–2 here.
+  int howard_iterations = 0;
 };
 
 struct McrpOptions {
   /// Run the double-precision improvement pre-pass.
   bool accelerate_with_double = true;
+  /// Let the solve resume from the scratch's previous structural state when
+  /// the graph's layout stamp matches (BivaluedGraph::layout_stamp — same
+  /// node/arc layout and H payloads, only L costs possibly rewritten via
+  /// set_cost): the Howard pre-pass keeps its policy (see mcrp/howard.hpp)
+  /// and the exact phase keeps its SCC-restricted cyclic core and CSR
+  /// adjacency instead of re-deriving them. Values are unaffected — the
+  /// exact improvement loop still runs to quiescence — only iteration
+  /// counts (and possibly which co-critical circuit is reported) can
+  /// change. Off by default; the parametric-sweep service turns it on.
+  bool howard_warm_start = false;
   /// Fill McrpResult::potentials.
   bool compute_potentials = true;
   /// Safety bound on improvement steps (a diagnostic aid; the algorithm
@@ -104,6 +118,19 @@ struct McrpScratch {
   std::vector<std::int32_t> cycle_local;
   std::vector<std::int32_t> bf_cycle;
   std::vector<std::int32_t> critical;
+
+  // Warm-start key for the exact phase's structural state (`cyclic` + its
+  // CSR): the layout stamp and sizes of the graph they were derived from.
+  // 0 = not reusable. Mirrors HowardScratch's key; reset_warm_start()
+  // clears both, forcing the next solve fully cold.
+  std::uint64_t warm_stamp = 0;
+  std::int32_t warm_nodes = 0;
+  std::int32_t warm_arcs = 0;
+
+  void reset_warm_start() noexcept {
+    warm_stamp = 0;
+    howard.reset_warm_start();
+  }
 };
 
 [[nodiscard]] McrpResult solve_max_cycle_ratio(const BivaluedGraph& g,

@@ -8,6 +8,19 @@
 // The scratch-based overload keeps every per-iteration buffer (policy,
 // values, cycle bookkeeping) alive across calls: warm re-solves on graphs
 // of no larger size perform zero heap allocations.
+//
+// Policy warm start (opt-in, `warm_start` below): policy iteration
+// converges from ANY initial policy, so when the graph's layout stamp
+// (BivaluedGraph::layout_stamp) matches the one the scratch's core state
+// was built for — identical node/arc layout and H payloads; only L costs
+// possibly rewritten in place via set_cost, which is exactly what the
+// incremental constraint engine's execution-time payload patches produce —
+// the solve skips the SCC pass, core extraction, CSR build and default
+// policy, refreshes the cached core costs, and resumes from the previous
+// solve's policy. On near-identical costs (neighbouring points of a
+// parametric sweep) that policy is near-optimal and the iteration count
+// collapses to one or two. A stamp mismatch silently takes the cold path,
+// so the flag is always safe to leave on.
 #pragma once
 
 #include <cstdint>
@@ -66,6 +79,19 @@ struct HowardScratch {
   std::vector<double> cyc_lambda;
   std::vector<std::int32_t> cyc_pool;
   std::vector<std::int32_t> cyc_offsets;
+
+  // Warm-start key: the layout stamp of the graph `local`/`arcs`/
+  // `out_offsets`/`policy` describe, plus its sizes as a belt-and-braces
+  // check. 0 = no reusable core (fresh scratch, or the last graph had no
+  // cyclic core). reset_warm_start() forces the next solve cold — callers
+  // that want a hard warm-state boundary (e.g. after a Deadlock variant in
+  // a DSE sweep) use it; correctness never depends on them doing so.
+  std::uint64_t warm_stamp = 0;
+  std::int32_t warm_nodes = 0;
+  std::int32_t warm_arcs = 0;
+  std::int32_t warm_core_n = 0;
+
+  void reset_warm_start() noexcept { warm_stamp = 0; }
 };
 
 /// Policy-iteration budget shared by the public default and the exact
@@ -75,8 +101,11 @@ inline constexpr int kHowardDefaultMaxIterations = 10000;
 [[nodiscard]] HowardResult howard_max_ratio(const BivaluedGraph& g,
                                             int max_iterations = kHowardDefaultMaxIterations);
 
-/// Allocation-free (when warm) variant writing into `out`.
+/// Allocation-free (when warm) variant writing into `out`. With
+/// `warm_start` set, resumes from the scratch's previous policy when the
+/// graph's layout stamp matches (see the header comment); otherwise — and
+/// on any stamp mismatch — behaves exactly like the cold solve.
 void howard_max_ratio(const BivaluedGraph& g, int max_iterations, HowardScratch& scratch,
-                      HowardResult& out);
+                      HowardResult& out, bool warm_start = false);
 
 }  // namespace kp

@@ -13,6 +13,9 @@
 //      different shape, both fall back to a recorded full rebuild.
 //   5. analyze_variants == cold per-variant analyze_throughput on a
 //      randomized mixed sweep, and is deterministic across thread counts.
+//      These run with warm_start OFF: bit-identical detail strings (rounds,
+//      final K) are the warm-off contract. The warm sweep's value-identity
+//      and lifecycle guarantees are covered by tests/test_warmstart.cpp.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -277,6 +280,7 @@ TEST(Variants, AnalyzeVariantsMatchesColdPerVariantAnalyses) {
   for (u64 seed = 500; variants < 100; ++seed) {
     Rng graph_rng(seed);
     VariantBatch batch;
+    batch.warm_start = false;  // the bit-identity contract is the warm-off one
     batch.base = random_csdf(graph_rng, options);
     for (int v = 0; v < 10; ++v) batch.deltas.push_back(random_delta(rng, batch.base));
 
@@ -297,6 +301,7 @@ TEST(Variants, AnalyzeVariantsMatchesColdPerVariantAnalyses) {
 TEST(Variants, AnalyzeVariantsDeterministicAcrossThreadCounts) {
   Rng rng(7);
   VariantBatch batch;
+  batch.warm_start = false;  // the bit-identity contract is the warm-off one
   batch.base = gcd_ring(16);
   std::vector<i64> values;
   for (int v = 1; v <= 40; ++v) values.push_back(rng.uniform(1, 12));
