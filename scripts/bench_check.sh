@@ -30,6 +30,13 @@
 # MCRP solve time actually reduced — not shifted into build or overhead.
 # Within-run ratio, machine-relative.
 #
+# Gate 1e (bench_scenario): on the 48-mode ring FSM over the gcd chain, the
+# warm analyze_scenario path (cross-variant cache + solver warm starts per
+# state) must beat composing cold one-shot per-state analyses by at least
+# 1.5x per state. The bench itself exits non-zero if the warm scenario
+# verdict (status, worst period/throughput, binding cycle) is not identical
+# to the cold one. Within-run ratio, machine-relative.
+#
 # Gate 2 (bench_batch): fails if analyze_batch results differ across thread
 # counts (the bench itself exits non-zero), or if the parallel efficiency
 # measured within the run falls below the floor for THIS machine's core
@@ -47,9 +54,10 @@ baseline="$repo_root/BENCH_hotpath.json"
 bench_bin="$build_dir/bench_hotpath"
 batch_bin="$build_dir/bench_batch"
 dse_bin="$build_dir/bench_dse"
+scenario_bin="$build_dir/bench_scenario"
 
-if [[ ! -x "$bench_bin" || ! -x "$batch_bin" || ! -x "$dse_bin" ]]; then
-  echo "bench_check: $bench_bin / $batch_bin / $dse_bin not found — build first (cmake -B build && cmake --build build)" >&2
+if [[ ! -x "$bench_bin" || ! -x "$batch_bin" || ! -x "$dse_bin" || ! -x "$scenario_bin" ]]; then
+  echo "bench_check: $bench_bin / $batch_bin / $dse_bin / $scenario_bin not found — build first (cmake -B build && cmake --build build)" >&2
   exit 2
 fi
 if [[ ! -f "$baseline" ]]; then
@@ -235,6 +243,50 @@ if failures:
         print(f"  {f}", file=sys.stderr)
     sys.exit(1)
 print("bench_check passed: e2e warm-start sweep beats cold with solve time reduced")
+EOF
+
+# ---- gate 1e: multi-mode scenario analysis (within-run) --------------------
+# bench_scenario merges its "scenario" section into the fresh JSON and exits
+# non-zero itself when the warm scenario verdict diverges from the cold one.
+"$scenario_bin" "$fresh"
+
+python3 - "$fresh" <<'EOF'
+import json
+import sys
+
+FLOOR = 1.5  # warm per-state scenario analysis must beat cold by this factor
+
+with open(sys.argv[1]) as f:
+    run = json.load(f)
+
+cases = run.get("scenario", [])
+if not cases:
+    print(
+        "bench_check FAILED: no 'scenario' section in fresh bench run "
+        "(old bench_scenario?)",
+        file=sys.stderr,
+    )
+    sys.exit(1)
+
+failures = []
+for case in cases:
+    speedup = case["cold_ms"] / max(case["warm_ms"], 1e-9)
+    marker = "FAIL" if speedup < FLOOR else "ok"
+    print(
+        f"g={case['g']}: scenario warm {case['warm_ms']:.3f} ms vs cold "
+        f"{case['cold_ms']:.3f} ms per state over {case['states']} modes "
+        f"(speedup {speedup:.2f}x, floor {FLOOR:.1f}x, combine {case['combine_ms']:.3f} ms) "
+        f"{marker}"
+    )
+    if speedup < FLOOR:
+        failures.append(f"g={case['g']}: scenario speedup {speedup:.2f}x below {FLOOR:.1f}x")
+
+if failures:
+    print("bench_check FAILED:", file=sys.stderr)
+    for f in failures:
+        print(f"  {f}", file=sys.stderr)
+    sys.exit(1)
+print("bench_check passed: warm scenario analysis beats cold per-state composition")
 EOF
 
 # ---- gate 2: batch serving path --------------------------------------------

@@ -481,10 +481,12 @@ std::vector<Analysis> ThroughputService::analyze_variants(const VariantBatch& ba
   // workers apply deltas to the serialization-augmented copy, where an
   // out-of-range base buffer id would silently resolve to a serialization
   // self-loop instead of throwing.
-  for (const GraphDelta& d : batch.deltas) {
-    for (const GraphDelta::ExecTime& e : d.exec_times) (void)batch.base.task(e.task);
-    for (const GraphDelta::Marking& m : d.markings) (void)batch.base.buffer(m.buffer);
-    for (const GraphDelta::Rates& r : d.rates) (void)batch.base.buffer(r.buffer);
+  for (std::size_t i = 0; i < batch.deltas.size(); ++i) {
+    try {
+      validate_delta_targets(batch.base, batch.deltas[i]);
+    } catch (const Error& err) {
+      throw ModelError("analyze_variants: deltas[" + std::to_string(i) + "]: " + err.what());
+    }
   }
 
   VariantRun run;
@@ -511,6 +513,25 @@ std::vector<Analysis> ThroughputService::analyze_variants(const VariantBatch& ba
     jobs.push_back(std::move(job));
   }
   return dispatch_and_wait(jobs, "analyze_variants");
+}
+
+ScenarioAnalysis ThroughputService::analyze_scenario(const ScenarioRequest& request) {
+  Stopwatch clock;
+  // Validate up front so a malformed scenario is reported before any state
+  // runs (scenario_worst_case would re-check, but only after the batch).
+  validate_scenario(request.scenario);
+  VariantBatch batch;
+  batch.base = request.scenario.base;
+  batch.deltas.reserve(request.scenario.states.size());
+  for (const ScenarioState& st : request.scenario.states) batch.deltas.push_back(st.delta);
+  batch.method = request.method;
+  batch.options = request.options;
+  batch.deadline_ms = request.deadline_ms;
+  batch.warm_start = request.warm_start;
+  batch.cancel = request.cancel;
+  ScenarioAnalysis out = scenario_worst_case(request.scenario, analyze_variants(batch));
+  out.elapsed_ms = clock.elapsed_ms();
+  return out;
 }
 
 i64 ThroughputService::submit(AnalysisRequest request) {

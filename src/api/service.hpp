@@ -49,6 +49,7 @@
 #include "api/analysis.hpp"
 #include "core/kperiodic.hpp"
 #include "model/transform.hpp"
+#include "scenario/scenario.hpp"
 
 namespace kp {
 
@@ -147,6 +148,30 @@ struct VariantBatch {
   CancelToken cancel{};
 };
 
+/// A multi-mode scenario analysis (scenario/scenario.hpp): the scenario's
+/// states become one VariantBatch — so per-state solves ride the variant
+/// cache and cross-variant warm starts — and the results are combined into
+/// the worst case over reachable FSM cycles. Deadline/cancel semantics are
+/// VariantBatch's: deadline_ms budgets each state, the token stops the
+/// whole scenario, and any state cut short turns the scenario verdict into
+/// ScenarioStatus::Budget (a partial bound would not be one).
+struct ScenarioRequest {
+  ScenarioGraph scenario;
+  Method method = Method::KIter;
+  AnalysisOptions options{};
+
+  /// Per-state wall-clock budget, measured from execution start on a
+  /// worker; < 0 disables.
+  double deadline_ms = -1.0;
+
+  /// See VariantBatch::warm_start. Scenario-level values (status, worst
+  /// period/throughput, binding cycle) are bit-identical warm or cold; only
+  /// per-state trajectory metadata differs.
+  bool warm_start = true;
+
+  CancelToken cancel{};
+};
+
 class ThroughputService {
  public:
   explicit ThroughputService(ServiceOptions options = {});
@@ -176,6 +201,13 @@ class ThroughputService {
   /// this call after the batch drains, like an engine error in
   /// analyze_batch would.
   [[nodiscard]] std::vector<Analysis> analyze_variants(const VariantBatch& batch);
+
+  /// Analyzes every mode of `request.scenario` over the pool (as a variant
+  /// batch, same determinism guarantee), then runs the exact worst-case
+  /// combine (scenario_worst_case). The scenario-level result is
+  /// deterministic at any thread count and identical with warm_start on or
+  /// off; per-state analyses are returned in ScenarioAnalysis::states.
+  [[nodiscard]] ScenarioAnalysis analyze_scenario(const ScenarioRequest& request);
 
   /// Async path: enqueue one request (the graph is moved in), returns the
   /// ticket to pass to wait(). In inline mode the request is served

@@ -1,0 +1,63 @@
+#include "gen/scenario_gen.hpp"
+
+#include <string>
+
+#include "gen/random_csdf.hpp"
+#include "util/error.hpp"
+
+namespace kp {
+
+ScenarioGraph random_scenario(Rng& rng, const RandomScenarioOptions& options) {
+  if (options.min_states < 1 || options.max_states < options.min_states) {
+    throw ModelError("random_scenario: need 1 <= min_states <= max_states");
+  }
+  if (options.max_iterations < 1) throw ModelError("random_scenario: max_iterations must be >= 1");
+  if (options.min_duration < 0 || options.max_duration < options.min_duration) {
+    throw ModelError("random_scenario: need 0 <= min_duration <= max_duration");
+  }
+
+  ScenarioGraph s;
+  s.name = "random_scenario";
+  s.base = random_csdf(rng, options.base);
+  const auto n_states =
+      static_cast<std::int32_t>(rng.uniform(options.min_states, options.max_states));
+
+  for (std::int32_t i = 0; i < n_states; ++i) {
+    GraphDelta d;
+    // Every mode retimes one task; phase counts stay the base's.
+    const auto task = static_cast<TaskId>(rng.uniform(0, s.base.task_count() - 1));
+    std::vector<i64> durations;
+    durations.reserve(static_cast<std::size_t>(s.base.phases(task)));
+    for (std::int32_t p = 0; p < s.base.phases(task); ++p) {
+      durations.push_back(rng.uniform(options.min_duration, options.max_duration));
+    }
+    d.exec_times.push_back({task, std::move(durations)});
+    // Sometimes also deepen one buffer (increase-only keeps the mode live).
+    if (rng.chance(options.marking_num, options.marking_den)) {
+      const auto buffer = static_cast<BufferId>(rng.uniform(0, s.base.buffer_count() - 1));
+      const i64 extra = rng.uniform(0, options.marking_slack);
+      d.markings.push_back(
+          {buffer, checked_add(s.base.buffer(buffer).initial_tokens, extra)});
+    }
+    s.add_state("mode" + std::to_string(i), std::move(d),
+                rng.uniform(1, options.max_iterations));
+  }
+
+  // Ring: strong connectivity, every state reachable and on a cycle.
+  for (std::int32_t i = 0; i < n_states; ++i) {
+    s.add_transition(i, (i + 1) % n_states, rng.uniform(0, options.max_delay));
+  }
+  for (std::int32_t i = 0; i < n_states; ++i) {
+    if (rng.chance(options.self_loop_num, options.self_loop_den)) {
+      s.add_transition(i, i, rng.uniform(0, options.max_delay));
+    }
+    if (n_states > 1 && rng.chance(options.chord_num, options.chord_den)) {
+      const auto to = static_cast<std::int32_t>(rng.uniform(0, n_states - 1));
+      s.add_transition(i, to, rng.uniform(0, options.max_delay));
+    }
+  }
+  s.initial_state = 0;
+  return s;
+}
+
+}  // namespace kp

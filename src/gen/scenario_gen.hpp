@@ -1,0 +1,55 @@
+// Seeded random generator of multi-mode scenarios, for property tests and
+// benches.
+//
+// Construction guarantees:
+//   * the base graph comes from random_csdf, so it is connected, consistent
+//     and live by construction;
+//   * every mode's delta only rewrites execution times (durations >= 1) or
+//     INCREASES a buffer's marking, so every mode variant stays consistent
+//     and live — its steady-state period is a positive exact value, never a
+//     Deadlock, and the worst-case scenario analysis yields a Bounded
+//     verdict;
+//   * the FSM is a ring 0 -> 1 -> ... -> n-1 -> 0 plus random self-loops
+//     and chords, so it is strongly connected: every state is reachable and
+//     on a cycle, and a binding cycle always exists.
+#pragma once
+
+#include "gen/random_csdf.hpp"
+#include "scenario/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace kp {
+
+struct RandomScenarioOptions {
+  /// Base-graph shape (gen/random_csdf.hpp). Defaults give small graphs
+  /// suitable for the simulator-vs-bound property tests.
+  RandomCsdfOptions base{};
+
+  std::int32_t min_states = 2;
+  std::int32_t max_states = 6;
+  i64 max_iterations = 3;  ///< per-state dwell drawn from [1, max_iterations]
+  i64 max_delay = 25;      ///< per-transition delay drawn from [0, max_delay]
+
+  /// Exec-time deltas draw per-phase durations from [min_duration,
+  /// max_duration]; keep min_duration >= 1 so no mode is instantaneous.
+  i64 min_duration = 1;
+  i64 max_duration = 9;
+
+  /// Probability (num/den) that a mode also bumps one buffer's marking by
+  /// up to `marking_slack` extra tokens (increases only — liveness).
+  i64 marking_num = 1;
+  i64 marking_den = 2;
+  i64 marking_slack = 4;
+
+  /// Probability of a self-loop ("stay in mode") per state.
+  i64 self_loop_num = 1;
+  i64 self_loop_den = 2;
+
+  /// Probability of one extra chord per state (to a random other state).
+  i64 chord_num = 1;
+  i64 chord_den = 3;
+};
+
+[[nodiscard]] ScenarioGraph random_scenario(Rng& rng, const RandomScenarioOptions& options = {});
+
+}  // namespace kp

@@ -97,22 +97,99 @@ CsdfGraph expand_phases(const CsdfGraph& g, const std::vector<i64>& k) {
   return out;
 }
 
+namespace {
+
+/// "GraphDelta.exec_times[2] (task 5)" — pinpoints which edit of a delta an
+/// error refers to; deltas routinely carry many edits and the underlying
+/// graph errors only name the graph-side entity.
+std::string delta_edit(const char* field, std::size_t index, const char* id_kind, i64 id) {
+  return "GraphDelta." + std::string(field) + "[" + std::to_string(index) + "] (" + id_kind +
+         " " + std::to_string(id) + ")";
+}
+
+[[noreturn]] void rethrow_delta_edit(const char* field, std::size_t index, const char* id_kind,
+                                     i64 id, const Error& err) {
+  throw ModelError(delta_edit(field, index, id_kind, id) + ": " + err.what());
+}
+
+}  // namespace
+
 void apply_delta(CsdfGraph& g, const GraphDelta& d) {
-  for (const GraphDelta::ExecTime& e : d.exec_times) g.set_durations(e.task, e.durations);
-  for (const GraphDelta::Marking& m : d.markings) g.set_initial_tokens(m.buffer, m.initial_tokens);
-  for (const GraphDelta::Rates& r : d.rates) g.set_rates(r.buffer, r.prod, r.cons);
+  for (std::size_t i = 0; i < d.exec_times.size(); ++i) {
+    const GraphDelta::ExecTime& e = d.exec_times[i];
+    try {
+      g.set_durations(e.task, e.durations);
+    } catch (const Error& err) {
+      rethrow_delta_edit("exec_times", i, "task", e.task, err);
+    }
+  }
+  for (std::size_t i = 0; i < d.markings.size(); ++i) {
+    const GraphDelta::Marking& m = d.markings[i];
+    try {
+      g.set_initial_tokens(m.buffer, m.initial_tokens);
+    } catch (const Error& err) {
+      rethrow_delta_edit("markings", i, "buffer", m.buffer, err);
+    }
+  }
+  for (std::size_t i = 0; i < d.rates.size(); ++i) {
+    const GraphDelta::Rates& r = d.rates[i];
+    try {
+      g.set_rates(r.buffer, r.prod, r.cons);
+    } catch (const Error& err) {
+      rethrow_delta_edit("rates", i, "buffer", r.buffer, err);
+    }
+  }
 }
 
 void revert_delta(CsdfGraph& g, const GraphDelta& d, const CsdfGraph& base) {
-  for (const GraphDelta::ExecTime& e : d.exec_times) {
-    g.set_durations(e.task, base.task(e.task).durations);
+  for (std::size_t i = 0; i < d.exec_times.size(); ++i) {
+    const GraphDelta::ExecTime& e = d.exec_times[i];
+    try {
+      g.set_durations(e.task, base.task(e.task).durations);
+    } catch (const Error& err) {
+      rethrow_delta_edit("exec_times", i, "task", e.task, err);
+    }
   }
-  for (const GraphDelta::Marking& m : d.markings) {
-    g.set_initial_tokens(m.buffer, base.buffer(m.buffer).initial_tokens);
+  for (std::size_t i = 0; i < d.markings.size(); ++i) {
+    const GraphDelta::Marking& m = d.markings[i];
+    try {
+      g.set_initial_tokens(m.buffer, base.buffer(m.buffer).initial_tokens);
+    } catch (const Error& err) {
+      rethrow_delta_edit("markings", i, "buffer", m.buffer, err);
+    }
   }
-  for (const GraphDelta::Rates& r : d.rates) {
-    const Buffer& b = base.buffer(r.buffer);
-    g.set_rates(r.buffer, b.prod, b.cons);
+  for (std::size_t i = 0; i < d.rates.size(); ++i) {
+    const GraphDelta::Rates& r = d.rates[i];
+    try {
+      const Buffer& b = base.buffer(r.buffer);
+      g.set_rates(r.buffer, b.prod, b.cons);
+    } catch (const Error& err) {
+      rethrow_delta_edit("rates", i, "buffer", r.buffer, err);
+    }
+  }
+}
+
+void validate_delta_targets(const CsdfGraph& base, const GraphDelta& d) {
+  for (std::size_t i = 0; i < d.exec_times.size(); ++i) {
+    try {
+      (void)base.task(d.exec_times[i].task);
+    } catch (const Error& err) {
+      rethrow_delta_edit("exec_times", i, "task", d.exec_times[i].task, err);
+    }
+  }
+  for (std::size_t i = 0; i < d.markings.size(); ++i) {
+    try {
+      (void)base.buffer(d.markings[i].buffer);
+    } catch (const Error& err) {
+      rethrow_delta_edit("markings", i, "buffer", d.markings[i].buffer, err);
+    }
+  }
+  for (std::size_t i = 0; i < d.rates.size(); ++i) {
+    try {
+      (void)base.buffer(d.rates[i].buffer);
+    } catch (const Error& err) {
+      rethrow_delta_edit("rates", i, "buffer", d.rates[i].buffer, err);
+    }
   }
 }
 

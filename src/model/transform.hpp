@@ -86,9 +86,19 @@ struct GraphDelta {
 
 /// Applies `d` to `g` in place (throws ModelError on bad ids/sizes/values;
 /// `g` may then hold a prefix of the edits — revert against the base to
-/// recover). Consistency is not re-checked here: a rates edit may make the
-/// graph inconsistent, which the analyses report per request.
+/// recover). Error messages name the offending edit's position and field,
+/// e.g. "GraphDelta.exec_times[2] (task 5): ...". Consistency is not
+/// re-checked here: a rates edit may make the graph inconsistent, which the
+/// analyses report per request.
 void apply_delta(CsdfGraph& g, const GraphDelta& d);
+
+/// Checks that every edit in `d` names a task/buffer id `base` has, with the
+/// same positional error messages apply_delta produces. Cheap (no graph
+/// mutation): the service layer runs this before dispatching a batch so a
+/// bad id is reported against the BASE graph rather than a worker's
+/// serialization-augmented copy. Value/shape validity (vector sizes,
+/// negative values) is still only checked on apply.
+void validate_delta_targets(const CsdfGraph& base, const GraphDelta& d);
 
 /// Restores the base values of every field `d` names, turning a variant
 /// back into `base` (g must be base + d, or at least agree with base

@@ -1,0 +1,382 @@
+#include "scenario/scenario.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "api/service.hpp"
+#include "graph/digraph.hpp"
+#include "graph/scc.hpp"
+#include "util/error.hpp"
+#include "util/stopwatch.hpp"
+
+namespace kp {
+
+namespace {
+
+std::string scn(const ScenarioGraph& s) { return "scenario '" + s.name + "': "; }
+
+void check_state(const ScenarioGraph& s, const ScenarioState& st, std::size_t index) {
+  if (st.iterations < 1) {
+    throw ModelError(scn(s) + "states[" + std::to_string(index) + "] ('" + st.name +
+                     "').iterations = " + std::to_string(st.iterations) + " (must be >= 1)");
+  }
+  try {
+    validate_delta_targets(s.base, st.delta);
+  } catch (const Error& err) {
+    throw ModelError(scn(s) + "states[" + std::to_string(index) + "] ('" + st.name +
+                     "').delta: " + err.what());
+  }
+}
+
+void check_transition(const ScenarioGraph& s, const ScenarioTransition& t, std::size_t index) {
+  const std::string ctx = scn(s) + "transitions[" + std::to_string(index) + "]";
+  if (t.from < 0 || t.from >= s.state_count()) {
+    throw ModelError(ctx + ".from = " + std::to_string(t.from) + " out of range [0, " +
+                     std::to_string(s.state_count()) + ")");
+  }
+  if (t.to < 0 || t.to >= s.state_count()) {
+    throw ModelError(ctx + ".to = " + std::to_string(t.to) + " out of range [0, " +
+                     std::to_string(s.state_count()) + ")");
+  }
+  if (t.delay < 0) {
+    throw ModelError(ctx + ".delay = " + std::to_string(t.delay) + " (must be >= 0)");
+  }
+}
+
+/// One FSM cycle as transition ids in traversal order, with its exact ratio
+/// λ = (Σ value) / (Σ transit).
+struct CycleCandidate {
+  Rational lambda;
+  std::vector<std::int32_t> arcs;
+};
+
+Rational cycle_ratio(const std::vector<std::int32_t>& arcs, const std::vector<Rational>& value,
+                     const std::vector<i64>& transit) {
+  Rational v{0};
+  i64 t = 0;
+  for (const std::int32_t a : arcs) {
+    v += value[static_cast<std::size_t>(a)];
+    t = checked_add(t, transit[static_cast<std::size_t>(a)]);
+  }
+  return v / Rational{t};
+}
+
+/// Exact maximum cycle ratio of one strongly connected component by
+/// cycle-cancelling ratio iteration: seed λ from any cycle, then repeatedly
+/// run a longest-path Bellman–Ford under weights value − λ·transit (all
+/// Rational); a still-improving arc after |comp| passes certifies a cycle of
+/// ratio > λ, which becomes the new λ. λ strictly increases through the
+/// finite set of simple-cycle ratios, so this terminates with the binding
+/// cycle itself. Deterministic: arcs are relaxed in ascending id order and
+/// the seed walk follows each node's smallest internal out-arc.
+///
+/// `comp_nodes`/`comp_arcs` are ascending; every arc's endpoints lie in the
+/// component (so only component nodes are ever touched in the size-n
+/// scratch arrays).
+CycleCandidate component_max_ratio(const Digraph& fsm, const std::vector<std::int32_t>& comp_nodes,
+                                   const std::vector<std::int32_t>& comp_arcs,
+                                   const std::vector<Rational>& value,
+                                   const std::vector<i64>& transit) {
+  const auto n = static_cast<std::size_t>(fsm.node_count());
+  const auto comp_size = static_cast<std::int32_t>(comp_nodes.size());
+
+  // Seed cycle: from the smallest node, follow each node's first internal
+  // out-arc until a node repeats. In a cyclic SCC every node has one.
+  std::vector<std::int32_t> first_out(n, -1);
+  for (auto it = comp_arcs.rbegin(); it != comp_arcs.rend(); ++it) {
+    first_out[static_cast<std::size_t>(fsm.arc_unchecked(*it).src)] = *it;
+  }
+  std::vector<std::int32_t> visited_at(n, -1);
+  std::vector<std::int32_t> walk;
+  std::int32_t cur = comp_nodes.front();
+  std::int32_t step = 0;
+  while (visited_at[static_cast<std::size_t>(cur)] < 0) {
+    visited_at[static_cast<std::size_t>(cur)] = step++;
+    const std::int32_t a = first_out[static_cast<std::size_t>(cur)];
+    if (a < 0) throw SolverError("scenario cycle ratio: SCC node without internal out-arc");
+    walk.push_back(a);
+    cur = fsm.arc_unchecked(a).dst;
+  }
+  CycleCandidate best;
+  best.arcs.assign(walk.begin() + visited_at[static_cast<std::size_t>(cur)], walk.end());
+  best.lambda = cycle_ratio(best.arcs, value, transit);
+
+  std::vector<Rational> dist(n);
+  std::vector<std::int32_t> pred(n, -1);
+  std::vector<std::int8_t> on_walk(n, 0);
+  // Bounded by the number of distinct simple-cycle ratios; the guard only
+  // catches an invariant breach (λ failing to strictly increase).
+  for (i64 round = 0; round <= static_cast<i64>(comp_arcs.size()) * comp_size + 2; ++round) {
+    for (const std::int32_t v : comp_nodes) {
+      dist[static_cast<std::size_t>(v)] = Rational{0};
+      pred[static_cast<std::size_t>(v)] = -1;
+    }
+    std::int32_t witness = -1;
+    for (std::int32_t pass = 0; pass <= comp_size && witness < 0; ++pass) {
+      bool changed = false;
+      for (const std::int32_t a : comp_arcs) {
+        const auto ai = static_cast<std::size_t>(a);
+        const Digraph::Arc& arc = fsm.arc_unchecked(a);
+        const Rational w = value[ai] - best.lambda * Rational{transit[ai]};
+        const Rational cand = dist[static_cast<std::size_t>(arc.src)] + w;
+        if (cand > dist[static_cast<std::size_t>(arc.dst)]) {
+          dist[static_cast<std::size_t>(arc.dst)] = cand;
+          pred[static_cast<std::size_t>(arc.dst)] = a;
+          changed = true;
+          // An improvement past |comp| passes exceeds every simple-path
+          // value, so the pred chain from here must close a positive cycle.
+          if (pass == comp_size) {
+            witness = arc.dst;
+            break;
+          }
+        }
+      }
+      if (!changed) break;
+    }
+    if (witness < 0) return best;  // λ is the maximum; best.arcs binds it
+
+    // Walk the pred chain until a node repeats: those arcs form a cycle of
+    // ratio strictly above the current λ.
+    for (const std::int32_t v : comp_nodes) on_walk[static_cast<std::size_t>(v)] = 0;
+    std::int32_t x = witness;
+    while (on_walk[static_cast<std::size_t>(x)] == 0) {
+      on_walk[static_cast<std::size_t>(x)] = 1;
+      const std::int32_t a = pred[static_cast<std::size_t>(x)];
+      if (a < 0) throw SolverError("scenario cycle ratio: positive-cycle walk left pred chain");
+      x = fsm.arc_unchecked(a).src;
+    }
+    std::vector<std::int32_t> cycle;
+    std::int32_t y = x;
+    do {
+      const std::int32_t a = pred[static_cast<std::size_t>(y)];
+      cycle.push_back(a);
+      y = fsm.arc_unchecked(a).src;
+    } while (y != x);
+    std::reverse(cycle.begin(), cycle.end());  // pred walk runs dst -> src
+
+    const Rational lambda = cycle_ratio(cycle, value, transit);
+    if (!(lambda > best.lambda)) {
+      throw SolverError("scenario cycle ratio: λ did not strictly increase (invariant breach)");
+    }
+    best.lambda = lambda;
+    best.arcs = std::move(cycle);
+  }
+  throw SolverError("scenario cycle ratio: iteration guard exceeded");
+}
+
+/// Rotates a cycle's arcs so the smallest source state comes first — a
+/// canonical form, so warm/cold and any thread count report the same cycle.
+void canonicalize_cycle(const Digraph& fsm, std::vector<std::int32_t>& arcs) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < arcs.size(); ++i) {
+    if (fsm.arc_unchecked(arcs[i]).src < fsm.arc_unchecked(arcs[best]).src) best = i;
+  }
+  std::rotate(arcs.begin(), arcs.begin() + static_cast<std::ptrdiff_t>(best), arcs.end());
+}
+
+}  // namespace
+
+std::int32_t ScenarioGraph::add_state(std::string state_name, GraphDelta delta, i64 iterations) {
+  ScenarioState st{std::move(state_name), std::move(delta), iterations};
+  check_state(*this, st, states.size());
+  states.push_back(std::move(st));
+  return state_count() - 1;
+}
+
+std::int32_t ScenarioGraph::add_transition(std::int32_t from, std::int32_t to, i64 delay) {
+  ScenarioTransition t{from, to, delay};
+  check_transition(*this, t, transitions.size());
+  transitions.push_back(t);
+  return transition_count() - 1;
+}
+
+void validate_scenario(const ScenarioGraph& s) {
+  if (s.states.empty()) throw ModelError(scn(s) + "needs at least one state");
+  if (s.initial_state < 0 || s.initial_state >= s.state_count()) {
+    throw ModelError(scn(s) + "initial_state = " + std::to_string(s.initial_state) +
+                     " out of range [0, " + std::to_string(s.state_count()) + ")");
+  }
+  for (std::size_t i = 0; i < s.states.size(); ++i) check_state(s, s.states[i], i);
+  for (std::size_t i = 0; i < s.transitions.size(); ++i) check_transition(s, s.transitions[i], i);
+}
+
+ScenarioAnalysis scenario_worst_case(const ScenarioGraph& s, std::vector<Analysis> per_state) {
+  validate_scenario(s);
+  const auto n = static_cast<std::size_t>(s.state_count());
+  if (per_state.size() != n) {
+    throw ModelError(scn(s) + "scenario_worst_case needs one Analysis per state (got " +
+                     std::to_string(per_state.size()) + " for " + std::to_string(n) + " states)");
+  }
+
+  ScenarioAnalysis out;
+  out.states = std::move(per_state);
+
+  // FSM digraph; arc ids coincide with transition ids.
+  Digraph fsm(s.state_count());
+  for (const ScenarioTransition& t : s.transitions) fsm.add_arc(t.from, t.to);
+  fsm.finalize();
+
+  // Reachability from the initial state.
+  out.reachable.assign(n, 0);
+  std::vector<std::int32_t> stack{s.initial_state};
+  out.reachable[static_cast<std::size_t>(s.initial_state)] = 1;
+  while (!stack.empty()) {
+    const std::int32_t v = stack.back();
+    stack.pop_back();
+    for (const std::int32_t a : fsm.out_span(v)) {
+      const std::int32_t w = fsm.arc_unchecked(a).dst;
+      if (out.reachable[static_cast<std::size_t>(w)] == 0) {
+        out.reachable[static_cast<std::size_t>(w)] = 1;
+        stack.push_back(w);
+      }
+    }
+  }
+  for (const std::uint8_t r : out.reachable) out.reachable_states += r;
+
+  std::ostringstream detail;
+  detail << "reachable=" << out.reachable_states << "/" << n;
+
+  // Verdict scan over reachable states. Deadlock dominates (the walk can
+  // reach a state that never completes a visit); any state not solved
+  // EXACTLY — budget, cancel, NoSolution, or an achievable-bound value —
+  // forfeits the bound: a pessimistic Ω would yield a "worst case" an ASAP
+  // execution can beat.
+  std::vector<Rational> omega(n, Rational{0});
+  std::int32_t deadlock_state = -1;
+  std::int32_t unsolved_state = -1;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (out.reachable[i] == 0) continue;
+    const Analysis& a = out.states[i];
+    switch (a.outcome) {
+      case Outcome::Deadlock:
+        if (deadlock_state < 0) deadlock_state = static_cast<std::int32_t>(i);
+        break;
+      case Outcome::Unbounded:
+        break;  // rate-unconstrained mode: contributes Ω = 0
+      case Outcome::Value:
+        if (a.quality == Quality::Exact) {
+          omega[i] = a.period;
+        } else if (unsolved_state < 0) {
+          unsolved_state = static_cast<std::int32_t>(i);
+        }
+        break;
+      case Outcome::NoSolution:
+      case Outcome::Budget:
+        if (unsolved_state < 0) unsolved_state = static_cast<std::int32_t>(i);
+        break;
+    }
+  }
+  if (deadlock_state >= 0) {
+    out.status = ScenarioStatus::Deadlock;
+    out.blocking_state = deadlock_state;
+    out.worst_period = Rational{0};
+    out.worst_throughput = Rational{0};
+    detail << " deadlock at state " << deadlock_state << " ('"
+           << s.states[static_cast<std::size_t>(deadlock_state)].name << "')";
+    out.detail = detail.str();
+    return out;
+  }
+  if (unsolved_state >= 0) {
+    out.status = ScenarioStatus::Budget;
+    out.blocking_state = unsolved_state;
+    detail << " state " << unsolved_state << " ('"
+           << s.states[static_cast<std::size_t>(unsolved_state)].name
+           << "') not solved exactly";
+    out.detail = detail.str();
+    return out;
+  }
+
+  // Arc value/transit for the max-cycle-ratio pass: visiting `from` costs
+  // iterations·Ω_from plus the switch delay, and advances iterations·1
+  // graph iterations.
+  std::vector<Rational> value(static_cast<std::size_t>(fsm.arc_count()));
+  std::vector<i64> transit(static_cast<std::size_t>(fsm.arc_count()));
+  for (std::size_t a = 0; a < value.size(); ++a) {
+    const ScenarioTransition& t = s.transitions[a];
+    const ScenarioState& from = s.states[static_cast<std::size_t>(t.from)];
+    value[a] = Rational{from.iterations} * omega[static_cast<std::size_t>(t.from)] +
+               Rational{t.delay};
+    transit[a] = from.iterations;
+  }
+
+  // Cycles live inside SCCs; only reachable ones matter (reachability is
+  // forward-closed, so a cycle touching a reachable state is fully
+  // reachable, and an SCC is reachable iff any member is).
+  const SccResult scc = strongly_connected_components(fsm);
+  std::vector<std::vector<std::int32_t>> comp_nodes(
+      static_cast<std::size_t>(scc.component_count));
+  std::vector<std::vector<std::int32_t>> comp_arcs(static_cast<std::size_t>(scc.component_count));
+  for (std::int32_t v = 0; v < fsm.node_count(); ++v) {
+    comp_nodes[static_cast<std::size_t>(scc.component_of[static_cast<std::size_t>(v)])].push_back(
+        v);
+  }
+  for (std::int32_t a = 0; a < fsm.arc_count(); ++a) {
+    const Digraph::Arc& arc = fsm.arc_unchecked(a);
+    const std::int32_t c = scc.component_of[static_cast<std::size_t>(arc.src)];
+    if (c == scc.component_of[static_cast<std::size_t>(arc.dst)]) {
+      comp_arcs[static_cast<std::size_t>(c)].push_back(a);
+    }
+  }
+
+  bool found_cycle = false;
+  CycleCandidate best;
+  for (std::int32_t c = 0; c < scc.component_count; ++c) {
+    const auto ci = static_cast<std::size_t>(c);
+    if (comp_arcs[ci].empty()) continue;  // no internal arc: no cycle here
+    if (out.reachable[static_cast<std::size_t>(comp_nodes[ci].front())] == 0) continue;
+    CycleCandidate cand = component_max_ratio(fsm, comp_nodes[ci], comp_arcs[ci], value, transit);
+    if (!found_cycle || cand.lambda > best.lambda) {
+      best = std::move(cand);
+      found_cycle = true;
+    }
+  }
+
+  if (!found_cycle) {
+    out.status = ScenarioStatus::NoCycle;
+    out.worst_period = Rational{0};
+    out.worst_throughput = Rational{0};
+    detail << " no reachable FSM cycle (every walk terminates)";
+    out.detail = detail.str();
+    return out;
+  }
+  if (best.lambda.is_zero()) {
+    // Every arc of the binding cycle is free: all its modes are rate-
+    // unconstrained and all its switches instantaneous.
+    out.status = ScenarioStatus::Unbounded;
+    out.worst_period = Rational{0};
+    out.worst_throughput = Rational{0};
+    detail << " binding cycle costs no time (unbounded rate)";
+    out.detail = detail.str();
+    return out;
+  }
+
+  canonicalize_cycle(fsm, best.arcs);
+  out.status = ScenarioStatus::Bounded;
+  out.worst_period = best.lambda;
+  out.worst_throughput = best.lambda.reciprocal();
+  out.binding_transitions = std::move(best.arcs);
+  out.binding_cycle.reserve(out.binding_transitions.size());
+  for (const std::int32_t a : out.binding_transitions) {
+    out.binding_cycle.push_back(fsm.arc_unchecked(a).src);
+  }
+  detail << " binding_cycle=[";
+  for (std::size_t i = 0; i < out.binding_cycle.size(); ++i) {
+    detail << (i == 0 ? "" : ",") << out.binding_cycle[i];
+  }
+  detail << "] period=" << out.worst_period.to_string();
+  out.detail = detail.str();
+  return out;
+}
+
+ScenarioAnalysis worst_case_throughput(const ScenarioGraph& s, Method method,
+                                       const AnalysisOptions& options) {
+  ThroughputService service(ServiceOptions{0});
+  ScenarioRequest request;
+  request.scenario = s;
+  request.method = method;
+  request.options = options;
+  return service.analyze_scenario(request);
+}
+
+}  // namespace kp

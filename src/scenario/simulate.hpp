@@ -1,0 +1,87 @@
+// Mode-sequence simulator: executes a concrete walk of a ScenarioGraph
+// under self-timed (ASAP) semantics and measures what the worst-case
+// analysis only bounds.
+//
+// A walk is a path of TRANSITION ids (not states: parallel transitions
+// between the same states carry different delays, and the executed one must
+// be unambiguous — ScenarioAnalysis::binding_transitions is directly
+// replayable here). Executing transition t means: run the variant of
+// t.from for its dwell (`ScenarioState::iterations` complete graph
+// iterations) to quiescence, then pay t.delay. The quiescence barrier makes
+// each visit's marking provably return to the variant's initial one
+// (complete iterations balance production and consumption), so visits
+// compose and the observed makespan of each visit is >= dwell·Ω of that
+// mode — which is exactly why observed throughput can never exceed the
+// analytic rate of the walk, and replaying the binding cycle can never beat
+// worst_case_throughput. The bound is tight when each visit has no
+// pipeline-fill transient (makespan == dwell·Ω).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "api/analysis.hpp"
+#include "scenario/scenario.hpp"
+
+namespace kp {
+
+enum class ModeSimStatus {
+  Completed,  ///< the whole path executed
+  Deadlock,   ///< a visit stalled before completing its iterations
+  Budget,     ///< host wall-clock budget / cancel hook stopped the run
+};
+
+/// One executed visit+switch.
+struct ModeStep {
+  std::int32_t transition = -1;  ///< the path entry executed
+  std::int32_t state = -1;       ///< mode visited (= transitions[transition].from)
+  i64 start = 0;                 ///< simulated time the visit began
+  i64 makespan = 0;              ///< simulated time the visit's iterations took
+  i64 iterations = 0;            ///< complete graph iterations executed
+};
+
+struct ModeSequenceOptions {
+  /// Serialize task phases, as the analyses do by default. Must match the
+  /// AnalysisOptions the bound was computed with for the comparison to be
+  /// meaningful.
+  bool serialize_tasks = true;
+  i64 max_firings_per_instant = 10000000;
+  /// Host wall-clock budget for the whole run, in ms; < 0 disables.
+  double time_budget_ms = -1.0;
+  bool (*poll)(void* ctx) = nullptr;
+  void* poll_ctx = nullptr;
+};
+
+struct ModeSequenceResult {
+  ModeSimStatus status = ModeSimStatus::Budget;
+  i64 total_time = 0;        ///< Σ visit makespans + Σ switch delays
+  i64 total_iterations = 0;  ///< Σ dwell over completed visits
+  /// total_time / total_iterations (0 when no iterations ran). The
+  /// soundness invariant: observed_period >= analytic_path_period(path).
+  Rational observed_period;
+  /// Reciprocal of the above; 0 when total_time == 0 (degenerate
+  /// zero-duration walk) — compare periods, not throughputs, in that case.
+  Rational observed_throughput;
+  std::int32_t deadlock_state = -1;  ///< mode that stalled (Deadlock only)
+  std::vector<ModeStep> steps;       ///< executed prefix, in order
+};
+
+/// Executes `path` (transition ids; consecutive entries must chain:
+/// to(path[i]) == from(path[i+1])) against the scenario. One materialized
+/// variant graph serves the whole walk via revert+apply, mirroring the
+/// analysis workers. Throws ModelError on an invalid scenario/path.
+[[nodiscard]] ModeSequenceResult simulate_mode_sequence(const ScenarioGraph& s,
+                                                        std::span<const std::int32_t> path,
+                                                        const ModeSequenceOptions& options = {});
+
+/// The analytic lower bound on any execution of `path`:
+/// (Σ dwell·Ω + Σ delay) / Σ dwell, from per-state analyses (index-aligned
+/// with s.states; each visited state must be solved exactly — Outcome::
+/// Value with Quality::Exact, or Outcome::Unbounded which contributes
+/// Ω = 0). simulate_mode_sequence can never observe a smaller period.
+[[nodiscard]] Rational analytic_path_period(const ScenarioGraph& s,
+                                            std::span<const std::int32_t> path,
+                                            std::span<const Analysis> per_state);
+
+}  // namespace kp

@@ -37,6 +37,19 @@ class Engine {
     return iterations_[static_cast<std::size_t>(t)];
   }
 
+  /// Caps the number of firings each task may START (one entry per task);
+  /// an empty vector (the default) means unlimited. execute_iterations uses
+  /// this to stop an ASAP run after whole graph iterations.
+  void set_firing_caps(std::vector<i64> caps) { caps_ = std::move(caps); }
+
+  /// True when every task has started its capped firing count.
+  [[nodiscard]] bool reached_caps() const noexcept {
+    for (std::size_t t = 0; t < caps_.size(); ++t) {
+      if (fired_[t] < caps_[t]) return false;
+    }
+    return true;
+  }
+
   /// Launches every enabled firing at the current instant (zero-duration
   /// firings complete inline and may enable further launches). Returns the
   /// number of firings started; throws on zero-delay livelock.
@@ -97,6 +110,9 @@ class Engine {
 
  private:
   [[nodiscard]] bool enabled(TaskId t) const {
+    if (!caps_.empty() && fired_[static_cast<std::size_t>(t)] >= caps_[static_cast<std::size_t>(t)]) {
+      return false;
+    }
     const auto p = next_phase_[static_cast<std::size_t>(t)];  // 0-based
     for (const BufferId b : g_.in_buffers(t)) {
       const Buffer& buf = g_.buffer(b);
@@ -144,6 +160,7 @@ class Engine {
   std::vector<std::int32_t> next_phase_;
   std::vector<i64> fired_;
   std::vector<i64> iterations_;
+  std::vector<i64> caps_;  // per-task start caps; empty = unlimited
   std::vector<Firing> ongoing_;
   i64 time_ = 0;
 };
@@ -325,6 +342,43 @@ SimResult symbolic_execution_throughput(const CsdfGraph& g, const RepetitionVect
     result.throughput = period.reciprocal();
   }
   return result;
+}
+
+IterationRun execute_iterations(const CsdfGraph& g, const RepetitionVector& rv, i64 iterations,
+                                const SimOptions& options) {
+  if (!rv.consistent) {
+    throw ModelError("execute_iterations requires a consistent graph: " + rv.failure_reason);
+  }
+  if (iterations < 0) {
+    throw ModelError("execute_iterations: iterations must be >= 0, got " +
+                     std::to_string(iterations));
+  }
+  IterationRun out;
+  Stopwatch clock;
+  Engine engine(g);
+  std::vector<i64> caps;
+  caps.reserve(static_cast<std::size_t>(g.task_count()));
+  for (TaskId t = 0; t < g.task_count(); ++t) {
+    caps.push_back(checked_mul(checked_mul(iterations, rv.of(t)), i64{g.phases(t)}));
+  }
+  engine.set_firing_caps(std::move(caps));
+
+  out.firings = engine.launch_all(nullptr, options.max_firings_per_instant);
+  while (!engine.idle()) {
+    // One budget/cancel check per event instant; each loop iteration
+    // retires at least one ongoing firing, so the latency is bounded.
+    if ((options.time_budget_ms >= 0.0 && clock.elapsed_ms() > options.time_budget_ms) ||
+        (options.poll != nullptr && options.poll(options.poll_ctx))) {
+      out.status = RunStatus::Budget;
+      out.makespan = engine.time();
+      return out;
+    }
+    engine.advance();
+    out.firings += engine.launch_all(nullptr, options.max_firings_per_instant);
+  }
+  out.makespan = engine.time();
+  out.status = engine.reached_caps() ? RunStatus::Completed : RunStatus::Deadlock;
+  return out;
 }
 
 std::vector<TraceEntry> selftimed_trace(const CsdfGraph& g, i64 horizon, i64 max_firings) {

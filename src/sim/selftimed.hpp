@@ -68,6 +68,31 @@ struct SimResult {
                                                       const RepetitionVector& rv,
                                                       const SimOptions& options = {});
 
+/// Outcome of a bounded ASAP run (execute_iterations).
+enum class RunStatus {
+  Completed,  ///< all requested firings done; makespan is the finish time
+  Deadlock,   ///< execution stalled before reaching the firing target
+  Budget,     ///< wall-clock budget / cancel hook stopped the run
+};
+
+struct IterationRun {
+  RunStatus status = RunStatus::Budget;
+  i64 makespan = 0;  ///< completion time of the last firing (simulated time)
+  i64 firings = 0;   ///< firings started
+};
+
+/// Executes exactly `iterations` complete graph iterations ASAP — every
+/// task t fires iterations·q_t·phi(t) phases, no more — and reports the
+/// makespan. A complete run returns the marking to the initial one
+/// (production and consumption balance over whole iterations), so
+/// back-to-back runs compose; this is the per-visit building block of the
+/// mode-sequence simulator (scenario/simulate.hpp), which also makes the
+/// analytic comparison n·Ω <= makespan meaningful. `rv` must be consistent.
+/// SimOptions::max_states is ignored (the run is bounded by construction);
+/// the time budget, livelock guard and poll hook are honored.
+[[nodiscard]] IterationRun execute_iterations(const CsdfGraph& g, const RepetitionVector& rv,
+                                              i64 iterations, const SimOptions& options = {});
+
 /// One firing of the ASAP execution, for Gantt rendering.
 struct TraceEntry {
   TaskId task = -1;

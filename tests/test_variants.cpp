@@ -16,6 +16,13 @@
 //      These run with warm_start OFF: bit-identical detail strings (rounds,
 //      final K) are the warm-off contract. The warm sweep's value-identity
 //      and lifecycle guarantees are covered by tests/test_warmstart.cpp.
+//   6. Delta validation errors name the offending edit's field, position and
+//      target id — apply, revert and the analyze_variants funnel alike.
+//   7. apply_delta + revert_delta round-trips 100 random mixed deltas to a
+//      graph bit-identical to the base, including the derived rate caches.
+//   8. Degenerate batches: an empty delta list yields an empty result (and
+//      leaves the service healthy), and a warm single-variant batch is
+//      bit-identical to a cold one-shot analysis (batch-start warm reset).
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -362,6 +369,148 @@ TEST(Variants, InvalidDeltaThrows) {
   const std::vector<Analysis> ok = service.analyze_variants(batch);
   ASSERT_EQ(ok.size(), 1u);
   EXPECT_EQ(ok[0].outcome, Outcome::Value);
+}
+
+// ---- 6. delta validation errors name the offending edit ---------------------
+
+template <typename Fn>
+std::string thrown_model_error(Fn&& fn) {
+  try {
+    fn();
+  } catch (const ModelError& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(Variants, DeltaErrorsNameFieldPositionAndTarget) {
+  const CsdfGraph base = gcd_ring(8);
+
+  // Out-of-range task id in the second exec_times edit.
+  GraphDelta bad_task;
+  bad_task.exec_times.push_back({0, {1}});
+  bad_task.exec_times.push_back({99, {1}});
+  CsdfGraph g = base;
+  std::string msg = thrown_model_error([&] { apply_delta(g, bad_task); });
+  EXPECT_NE(msg.find("exec_times[1]"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("task 99"), std::string::npos) << msg;
+
+  // Wrong durations size (phi(t1) == 1): field + position + target.
+  GraphDelta bad_size;
+  bad_size.exec_times.push_back({1, {1, 2, 3}});
+  g = base;
+  msg = thrown_model_error([&] { apply_delta(g, bad_size); });
+  EXPECT_NE(msg.find("exec_times[0]"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("task 1"), std::string::npos) << msg;
+
+  // Negative marking on a valid buffer.
+  GraphDelta bad_marking;
+  bad_marking.markings.push_back({2, -1});
+  g = base;
+  msg = thrown_model_error([&] { apply_delta(g, bad_marking); });
+  EXPECT_NE(msg.find("markings[0]"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("buffer 2"), std::string::npos) << msg;
+
+  // Wrong-size rate vector.
+  GraphDelta bad_rates;
+  bad_rates.rates.push_back({0, {1, 2, 3, 4, 5, 6, 7}, {1}});
+  g = base;
+  msg = thrown_model_error([&] { apply_delta(g, bad_rates); });
+  EXPECT_NE(msg.find("rates[0]"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("buffer 0"), std::string::npos) << msg;
+
+  // revert_delta reports the same positions (it re-applies base values
+  // through the same setters).
+  g = base;
+  msg = thrown_model_error([&] { revert_delta(g, bad_task, base); });
+  EXPECT_NE(msg.find("exec_times[1]"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("task 99"), std::string::npos) << msg;
+
+  // The pure target check, and its batch-funnel wrapper naming the delta.
+  msg = thrown_model_error([&] { validate_delta_targets(base, bad_task); });
+  EXPECT_NE(msg.find("exec_times[1]"), std::string::npos) << msg;
+  VariantBatch batch;
+  batch.base = base;
+  batch.deltas = exec_time_sweep(base, 1, std::vector<i64>{2});
+  batch.deltas.push_back(bad_task);
+  ThroughputService service(ServiceOptions{0});
+  msg = thrown_model_error([&] { (void)service.analyze_variants(batch); });
+  EXPECT_NE(msg.find("deltas[1]"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("exec_times[1]"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("task 99"), std::string::npos) << msg;
+}
+
+// ---- 7. apply + revert round-trips to a bit-identical graph -----------------
+
+void expect_graph_bits_equal(const CsdfGraph& got, const CsdfGraph& want,
+                             const std::string& context) {
+  ASSERT_EQ(got.task_count(), want.task_count()) << context;
+  ASSERT_EQ(got.buffer_count(), want.buffer_count()) << context;
+  for (TaskId t = 0; t < want.task_count(); ++t) {
+    EXPECT_EQ(got.task(t).durations, want.task(t).durations) << context << " task " << t;
+  }
+  for (BufferId b = 0; b < want.buffer_count(); ++b) {
+    const Buffer& gb = got.buffer(b);
+    const Buffer& wb = want.buffer(b);
+    const std::string where = context + " buffer " + std::to_string(b);
+    EXPECT_EQ(gb.initial_tokens, wb.initial_tokens) << where;
+    EXPECT_EQ(gb.prod, wb.prod) << where;
+    EXPECT_EQ(gb.cons, wb.cons) << where;
+    // The derived caches must round-trip too — the constraint builders and
+    // the mode-sequence simulator read them, not the raw vectors.
+    EXPECT_EQ(gb.total_prod, wb.total_prod) << where;
+    EXPECT_EQ(gb.total_cons, wb.total_cons) << where;
+    EXPECT_EQ(gb.cum_prod, wb.cum_prod) << where;
+    EXPECT_EQ(gb.cum_cons, wb.cum_cons) << where;
+  }
+}
+
+TEST(Variants, ApplyRevertRoundTripIsBitIdentical) {
+  Rng rng(99);
+  int count = 0;
+  for (u64 seed = 1; count < 100; ++seed) {
+    Rng graph_rng(seed);
+    const CsdfGraph base = random_csdf(graph_rng, small_graphs());
+    CsdfGraph work = base;  // ONE materialized graph, morphed in place
+    for (int v = 0; v < 5 && count < 100; ++v, ++count) {
+      const GraphDelta delta = random_delta(rng, base);
+      apply_delta(work, delta);
+      revert_delta(work, delta, base);
+      expect_graph_bits_equal(work, base,
+                              "seed " + std::to_string(seed) + " delta " + std::to_string(v));
+    }
+  }
+}
+
+// ---- 8. degenerate batches: empty, and single-variant == cold ---------------
+
+TEST(Variants, EmptyAndSingleVariantBatches) {
+  ThroughputService service(ServiceOptions{0});
+
+  VariantBatch empty;
+  empty.base = gcd_ring(8);
+  EXPECT_TRUE(service.analyze_variants(empty).empty());
+
+  // warm_start stays ON, but the batch boundary resets warm state, so a
+  // one-variant batch is bit-identical to a cold one-shot analysis — every
+  // time, not just the first.
+  VariantBatch single;
+  single.base = gcd_ring(8);
+  single.deltas = exec_time_sweep(single.base, 1, std::vector<i64>{7});
+  const Analysis cold =
+      analyze_throughput(make_variant(single.base, single.deltas[0]), single.method);
+  for (int round = 0; round < 3; ++round) {
+    const std::vector<Analysis> got = service.analyze_variants(single);
+    ASSERT_EQ(got.size(), 1u);
+    expect_same_analysis(got[0], cold, "single-variant round " + std::to_string(round));
+    EXPECT_EQ(got[0].rounds, cold.rounds) << "round " << round;
+  }
+
+  // And interleaving an empty batch leaves the service healthy.
+  EXPECT_TRUE(service.analyze_variants(empty).empty());
+  const std::vector<Analysis> after = service.analyze_variants(single);
+  ASSERT_EQ(after.size(), 1u);
+  expect_same_analysis(after[0], cold, "after empty batch");
 }
 
 }  // namespace
