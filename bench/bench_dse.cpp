@@ -25,9 +25,18 @@
 // solve vs round overhead, from Analysis::build_ms/solve_ms/elapsed_ms)
 // goes into the JSON so the speedup is attributable, not just a ratio.
 //
+// Symbolic level (gated as 1f): the same sweep with VariantBatch::symbolic.
+// The service recognizes the deltas as an affine execution-time ray, solves
+// one variant exactly per throughput region and fills the rest by
+// evaluating the region's critical-cycle rational — so the whole 240-point
+// sweep costs a handful of exact solves (sym_exact_solves in the JSON; the
+// binary hard-fails above 10) and must still be bit-identical to cold.
+// The gate requires symbolic e2e >= 2x over the warm per-point path,
+// within-run, so it is machine-relative like every other gate.
+//
 // Results go to stdout and into BENCH_hotpath.json (first CLI arg overrides
 // the path): if the file already holds a bench_hotpath run, the "dse"
-// section is merged into it (schema 5); otherwise a standalone file is
+// section is merged into it (schema 6); otherwise a standalone file is
 // written. Run bench_hotpath first when regenerating the committed baseline.
 #include <cstdio>
 #include <fstream>
@@ -59,6 +68,8 @@ struct DseResult {
   double patched_build_ms = 0;  // per variant, warm content-keyed patch
   double e2e_cold_ms = 0;       // per variant, cold analyze_throughput
   double e2e_warm_ms = 0;       // per variant, warm analyze_variants
+  double e2e_sym_ms = 0;        // per variant, symbolic-region analyze_variants
+  i64 sym_exact_solves = 0;     // exact solves the symbolic sweep performed
 
   // Per-variant phase breakdown of the two e2e runs (from each Analysis:
   // constraint build, MCRP solve, and overhead = elapsed - build - solve),
@@ -106,7 +117,7 @@ void write_json(const std::string& path, const std::string& dse_section) {
     while (!head.empty() && (head.back() == '\n' || head.back() == ' ')) head.pop_back();
     out << head << ",\n  \"dse\": " << dse_section << "\n}\n";
   } else {
-    out << "{\n  \"schema\": 5,\n  \"dse\": " << dse_section << "\n}\n";
+    out << "{\n  \"schema\": 6,\n  \"dse\": " << dse_section << "\n}\n";
   }
 }
 
@@ -121,8 +132,8 @@ int main(int argc, char** argv) {
 
   std::vector<DseResult> results;
   Table table({"g", "variants", "arcs", "cold build (ms)", "patched build (ms)", "speedup",
-               "e2e cold (ms)", "e2e warm (ms)", "e2e speedup", "solve c/w (ms)",
-               "rounds c/w"});
+               "e2e cold (ms)", "e2e warm (ms)", "e2e warm x", "e2e sym (ms)", "e2e sym x",
+               "exact solves", "rounds c/w"});
 
   for (const i64 g : scales) {
     const CsdfGraph base = gcd_chain(chain_tasks, g);
@@ -204,6 +215,19 @@ int main(int argc, char** argv) {
     const std::vector<Analysis> warm = service.analyze_variants(batch);
     r.e2e_warm_ms = warm_clock.elapsed_ms() / static_cast<double>(variant_count);
 
+    // Symbolic-region path: one exact solve per throughput region, rational
+    // evaluation everywhere else. Same inline-worker service shape.
+    VariantBatch sym_batch = batch;
+    sym_batch.symbolic = true;
+    ThroughputService sym_service(ServiceOptions{0});
+    Stopwatch sym_clock;
+    const std::vector<Analysis> sym = sym_service.analyze_variants(sym_batch);
+    r.e2e_sym_ms = sym_clock.elapsed_ms() / static_cast<double>(variant_count);
+    for (const Analysis& a : sym) {
+      const bool fill = a.rounds == 0 && a.detail.rfind("symbolic region", 0) == 0;
+      if (!fill) ++r.sym_exact_solves;
+    }
+
     Stopwatch cold_clock;
     std::vector<Analysis> cold_results;
     cold_results.reserve(deltas.size());
@@ -222,6 +246,13 @@ int main(int argc, char** argv) {
       if (a.outcome != b.outcome || a.quality != b.quality || a.period != b.period ||
           a.throughput != b.throughput) {
         std::cerr << "FAIL: warm variant analysis diverges from cold at g = " << g
+                  << " variant " << i << "\n";
+        return 1;
+      }
+      const Analysis& s = sym[i];
+      if (s.outcome != b.outcome || s.quality != b.quality || s.period != b.period ||
+          s.throughput != b.throughput) {
+        std::cerr << "FAIL: symbolic variant analysis diverges from cold at g = " << g
                   << " variant " << i << "\n";
         return 1;
       }
@@ -247,7 +278,9 @@ int main(int argc, char** argv) {
                fmt(r.cold_build_ms / std::max(r.patched_build_ms, 1e-9), "%.1fx"),
                fmt(r.e2e_cold_ms, "%.3f"), fmt(r.e2e_warm_ms, "%.3f"),
                fmt(r.e2e_cold_ms / std::max(r.e2e_warm_ms, 1e-9), "%.2fx"),
-               fmt(r.e2e_cold_solve_ms, "%.3f") + "/" + fmt(r.e2e_warm_solve_ms, "%.3f"),
+               fmt(r.e2e_sym_ms, "%.4f"),
+               fmt(r.e2e_warm_ms / std::max(r.e2e_sym_ms, 1e-9), "%.2fx"),
+               std::to_string(r.sym_exact_solves) + "/" + std::to_string(r.variants),
                std::to_string(r.cold_rounds) + "/" + std::to_string(r.warm_rounds)});
     results.push_back(r);
   }
@@ -265,6 +298,8 @@ int main(int argc, char** argv) {
         << ", \"cold_build_ms\": " << r.cold_build_ms
         << ", \"patched_build_ms\": " << r.patched_build_ms
         << ", \"e2e_cold_ms\": " << r.e2e_cold_ms << ", \"e2e_warm_ms\": " << r.e2e_warm_ms
+        << ", \"e2e_sym_ms\": " << r.e2e_sym_ms
+        << ", \"sym_exact_solves\": " << r.sym_exact_solves
         << ", \"e2e_cold_build_ms\": " << r.e2e_cold_build_ms
         << ", \"e2e_cold_solve_ms\": " << r.e2e_cold_solve_ms
         << ", \"e2e_cold_overhead_ms\": " << r.e2e_cold_overhead_ms
@@ -278,11 +313,16 @@ int main(int argc, char** argv) {
   write_json(json_path, dse.str());
   std::cout << "\nwrote " << json_path << "\n";
 
-  // Self-check floor (the script gate enforces the real 2x floor).
+  // Self-check floors (the script gates enforce the real 2x floors).
   for (const DseResult& r : results) {
     if (r.cold_build_ms < 1.2 * r.patched_build_ms) {
       std::cerr << "FAIL: variant patch not measurably faster than cold builds at g = " << r.g
                 << "\n";
+      return 1;
+    }
+    if (r.sym_exact_solves > 10) {
+      std::cerr << "FAIL: symbolic sweep needed " << r.sym_exact_solves
+                << " exact solves (> 10) at g = " << r.g << "\n";
       return 1;
     }
   }

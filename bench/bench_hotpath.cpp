@@ -179,7 +179,7 @@ int main(int argc, char** argv) {
   inc_table.print(std::cout);
 
   std::ofstream json(json_path);
-  json << "{\n  \"schema\": 5,\n  \"sweep\": \"gcd-ring\",\n  \"cases\": [\n";
+  json << "{\n  \"schema\": 6,\n  \"sweep\": \"gcd-ring\",\n  \"cases\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const CaseResult& cr = results[i];
     json << "    {\"g\": " << cr.g << ", \"pairs\": " << to_string(cr.pairs)

@@ -37,6 +37,14 @@
 # verdict (status, worst period/throughput, binding cycle) is not identical
 # to the cold one. Within-run ratio, machine-relative.
 #
+# Gate 1f (bench_dse, same run): the symbolic-region sweep
+# (VariantBatch::symbolic — one exact solve per throughput region, rational
+# evaluation everywhere else) must beat the warm per-point path by at least
+# 2x per variant end-to-end, AND must have performed at most 10 exact
+# solves over the 240-variant sweep. The bench itself exits non-zero if
+# symbolic results are not value-identical to cold ones. Within-run ratio,
+# machine-relative.
+#
 # Gate 2 (bench_batch): fails if analyze_batch results differ across thread
 # counts (the bench itself exits non-zero), or if the parallel efficiency
 # measured within the run falls below the floor for THIS machine's core
@@ -243,6 +251,53 @@ if failures:
         print(f"  {f}", file=sys.stderr)
     sys.exit(1)
 print("bench_check passed: e2e warm-start sweep beats cold with solve time reduced")
+EOF
+
+# ---- gate 1f: symbolic-region sweep (within-run) ---------------------------
+python3 - "$fresh" <<'EOF'
+import json
+import sys
+
+FLOOR = 2.0       # symbolic e2e must beat the warm per-point path by this factor
+MAX_SOLVES = 10   # exact solves allowed over the whole sweep
+
+with open(sys.argv[1]) as f:
+    run = json.load(f)
+
+cases = run.get("dse", [])
+if not cases or "e2e_sym_ms" not in cases[0]:
+    print(
+        "bench_check FAILED: no symbolic-region figures in the 'dse' section "
+        "(old bench_dse?)",
+        file=sys.stderr,
+    )
+    sys.exit(1)
+
+failures = []
+for case in cases:
+    speedup = case["e2e_warm_ms"] / max(case["e2e_sym_ms"], 1e-9)
+    solves = case["sym_exact_solves"]
+    marker = "FAIL" if speedup < FLOOR or solves > MAX_SOLVES else "ok"
+    print(
+        f"g={case['g']}: e2e symbolic {case['e2e_sym_ms']:.4f} ms vs warm "
+        f"{case['e2e_warm_ms']:.3f} ms per variant (speedup {speedup:.2f}x, "
+        f"floor {FLOOR:.1f}x, {solves}/{case['variants']} exact solves) {marker}"
+    )
+    if speedup < FLOOR:
+        failures.append(
+            f"g={case['g']}: symbolic e2e speedup {speedup:.2f}x below {FLOOR:.1f}x"
+        )
+    if solves > MAX_SOLVES:
+        failures.append(
+            f"g={case['g']}: {solves} exact solves exceed the {MAX_SOLVES}-solve budget"
+        )
+
+if failures:
+    print("bench_check FAILED:", file=sys.stderr)
+    for f in failures:
+        print(f"  {f}", file=sys.stderr)
+    sys.exit(1)
+print("bench_check passed: symbolic regions beat the warm per-point sweep")
 EOF
 
 # ---- gate 1e: multi-mode scenario analysis (within-run) --------------------

@@ -20,6 +20,7 @@
 #include <string_view>
 
 #include "core/kiter.hpp"
+#include "core/regions.hpp"
 #include "expansion/hsdf.hpp"
 #include "model/csdf.hpp"
 #include "sim/selftimed.hpp"
@@ -80,6 +81,15 @@ struct Analysis {
   i64 howard_iterations = 0;
   double build_ms = 0.0;
   double solve_ms = 0.0;
+
+  // Why the value binds (exact KIter values with positive period only;
+  // empty otherwise): the final round's critical cycle as a symbolic ratio
+  // in the execution times — Ω = Σ count·d(task,phase) / cycle_time (see
+  // core/regions.hpp). Task/buffer ids refer to the analyzed graph. Which
+  // co-critical cycle is reported may differ between warm and cold runs;
+  // the evaluated ratio is identical. Variants served symbolically from a
+  // region carry the ANCHOR's cert re-anchored at their own ratio.
+  CriticalCycleCert critical_cycle;
 
   // Service metadata, filled by ThroughputService (defaults for plain
   // one-shot calls):

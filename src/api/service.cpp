@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/kperiodic.hpp"
+#include "core/regions.hpp"
 #include "model/transform.hpp"
 #include "util/error.hpp"
 #include "util/stopwatch.hpp"
@@ -95,6 +96,10 @@ Analysis run_kiter(const CsdfGraph& g, const AnalysisOptions& options, double de
       a.quality = Quality::Exact;
       a.period = r.period;
       a.throughput = r.throughput;
+      // Why the value binds: the final round's critical cycle as a symbolic
+      // ratio (empty for zero-period corners). The workspace still holds
+      // the final K's constraint graph and solve here.
+      a.critical_cycle = extract_critical_cycle_cert(ws.constraints, ws.solved);
       break;
     case ThroughputStatus::Deadlock:
       a.outcome = Outcome::Deadlock;
@@ -432,6 +437,79 @@ Analysis ThroughputService::run_variant(const VariantRun& run, std::size_t index
                          warm ? &worker.warm_k_valid : nullptr);
 }
 
+std::vector<Analysis> ThroughputService::run_symbolic_variants(const VariantRun& run,
+                                                               const ExecTimeRay& ray) {
+  const VariantBatch& batch = *run.batch;
+  const auto n = batch.deltas.size();
+  std::vector<Analysis> results(n);
+  // The whole sweep runs sequentially on the caller's worker (like
+  // analyze()): the region walk is inherently ordered — each anchor's exact
+  // solve feeds the next region — and a sequential walk is what makes the
+  // results trivially identical at any thread count.
+  Worker& worker = *workers_.back();
+  std::lock_guard<std::mutex> wk(worker.in_use);
+  const int worker_id = static_cast<int>(workers_.size()) - 1;
+
+  RegionCertifier certifier;
+  std::vector<i64> prev_region_k;
+  bool have_prev_region = false;
+
+  std::size_t i = 0;
+  while (i < n) {
+    Analysis a = run_variant(run, i, worker);
+    a.request_id = static_cast<i64>(i);
+    a.worker_id = worker_id;
+    const CriticalCycleCert cert = a.critical_cycle;  // empty unless exact Optimal, Ω > 0
+    results[i] = std::move(a);
+    if (cert.empty() || batch.cancel.cancelled()) {
+      // Deadlock/Unbounded/budget/cancelled samples (and zero-period
+      // corners) are warm-state boundaries exactly as in the per-point
+      // path; the next sample re-anchors.
+      have_prev_region = false;
+      ++i;
+      continue;
+    }
+    if (have_prev_region && cert.k != prev_region_k) {
+      // Breakpoint verification: the exact re-solve landed on a different
+      // final K than the region it ended. Conservative fallback — this
+      // point stays served by the warm per-point solve just performed, no
+      // region is anchored on it, and the next sample starts fresh.
+      have_prev_region = false;
+      ++i;
+      continue;
+    }
+    // The anchor's workspace still holds its final-K constraint graph and
+    // cyclic core; certify how far right along the ray its cycle stays
+    // maximal (O(log range) exact positive-cycle checks).
+    certifier.prepare(worker.workspace.constraints, cert, ray, static_cast<i64>(i));
+    const i64 end = certifier.region_end(static_cast<i64>(n) - 1, worker.workspace.mcrp);
+    for (i64 p = static_cast<i64>(i) + 1; p <= end; ++p) {
+      Stopwatch clock;
+      Analysis s;
+      s.method = Method::KIter;
+      s.outcome = Outcome::Value;
+      s.quality = Quality::Exact;
+      s.period = certifier.ratio_at(p);
+      s.throughput = s.period.reciprocal();
+      s.critical_cycle = cert;
+      s.critical_cycle.cycle_cost = certifier.numerator_at(p);
+      s.critical_cycle.ratio = s.period;
+      std::ostringstream detail;
+      detail << "symbolic region anchor=" << i << " [" << i << ".." << end << "] "
+             << k_to_string(cert.k);
+      s.detail = detail.str();
+      s.request_id = p;
+      s.worker_id = worker_id;
+      s.elapsed_ms = clock.elapsed_ms();
+      results[static_cast<std::size_t>(p)] = std::move(s);
+    }
+    prev_region_k = cert.k;
+    have_prev_region = true;
+    i = static_cast<std::size_t>(end) + 1;
+  }
+  return results;
+}
+
 std::vector<Analysis> ThroughputService::dispatch_and_wait(
     std::vector<std::shared_ptr<Job>>& jobs, const char* what) {
   if (inline_mode()) {
@@ -501,6 +579,14 @@ std::vector<Analysis> ThroughputService::analyze_variants(const VariantBatch& ba
   {
     std::lock_guard<std::mutex> lk(mu_);
     run.gen = ++next_variant_gen_;
+  }
+
+  // Symbolic-region mode: only for KIter sweeps whose deltas form an affine
+  // exec-time ray (anything else falls through to the per-point pool path).
+  if (batch.symbolic && batch.method == Method::KIter) {
+    if (const std::optional<ExecTimeRay> ray = infer_exec_time_ray(batch.deltas)) {
+      return run_symbolic_variants(run, *ray);
+    }
   }
 
   std::vector<std::shared_ptr<Job>> jobs;

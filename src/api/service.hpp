@@ -142,6 +142,24 @@ struct VariantBatch {
   /// outcome), so sweep order never leaks across those boundaries.
   bool warm_start = true;
 
+  /// Symbolic-region mode (KIter only). When the batch's deltas form an
+  /// affine execution-time ray with the variant index as parameter
+  /// (model/transform.hpp, infer_exec_time_ray), the sweep is served by the
+  /// symbolic-region engine (core/regions.hpp): a handful of region anchors
+  /// are solved exactly (riding the warm_start machinery), each anchor's
+  /// critical-cycle cert is certified along the ray, and every in-region
+  /// variant's period is an O(cycle-length) rational evaluation — no
+  /// K-iteration, no MCRP solve. Results are bit-identical to a cold
+  /// per-variant sweep in outcome/quality/period/throughput; `detail` says
+  /// "symbolic region ..." and `rounds` stays 0 for the evaluated points.
+  /// At each region breakpoint the engine re-solves exactly and, if the
+  /// final K changed, serves that point from the warm per-point path and
+  /// re-anchors at the next sample. The whole sweep runs sequentially on
+  /// the calling thread — determinism at any thread count is trivial; the
+  /// win is algorithmic, not parallel. Non-affine or non-exec-time batches
+  /// (and non-KIter methods) fall back to the normal per-point pool path.
+  bool symbolic = false;
+
   /// Shared across the batch: cancelling stops every variant that has not
   /// finished (started ones stop cooperatively, unstarted ones report
   /// Outcome::Budget).
@@ -252,6 +270,8 @@ class ThroughputService {
   void worker_loop(int worker_id);
   void run_job(Job& job, int worker_id);
   Analysis run_variant(const VariantRun& run, std::size_t index, Worker& worker);
+  [[nodiscard]] std::vector<Analysis> run_symbolic_variants(const VariantRun& run,
+                                                            const ExecTimeRay& ray);
   [[nodiscard]] std::vector<Analysis> dispatch_and_wait(
       std::vector<std::shared_ptr<Job>>& jobs, const char* what);
 

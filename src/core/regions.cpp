@@ -1,0 +1,146 @@
+#include "core/regions.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace kp {
+
+Rational CriticalCycleCert::evaluate(const CsdfGraph& g) const {
+  i128 num = 0;
+  for (const Coeff& c : coeffs) {
+    const std::vector<i64>& d = g.task(c.task).durations;
+    num = checked_add(num, checked_mul(i128{c.count}, i128{d[static_cast<std::size_t>(c.phase - 1)]}));
+  }
+  return Rational(num, 1) / cycle_time;
+}
+
+std::string CriticalCycleCert::describe(const CsdfGraph& g) const {
+  if (coeffs.empty()) return "";
+  std::string out = "(";
+  bool first = true;
+  for (const Coeff& c : coeffs) {
+    if (!first) out += " + ";
+    first = false;
+    if (c.count != 1) out += std::to_string(c.count) + "·";
+    out += "d(" + g.task(c.task).name;
+    if (g.phases(c.task) > 1) out += "," + std::to_string(c.phase);
+    out += ")";
+  }
+  out += ") / " + cycle_time.to_string();
+  return out;
+}
+
+CriticalCycleCert extract_critical_cycle_cert(const ConstraintGraph& cg,
+                                              const McrpResult& solved) {
+  CriticalCycleCert cert;
+  if (solved.status != McrpStatus::Optimal || solved.ratio.sign() <= 0 ||
+      solved.critical_cycle.empty()) {
+    return cert;
+  }
+  for (const std::int32_t a : solved.critical_cycle) {
+    const std::int32_t src = cg.graph.graph().arc(a).src;
+    const TaskId t = cg.node_task[static_cast<std::size_t>(src)];
+    const std::int32_t p = cg.node_phase[static_cast<std::size_t>(src)];
+    auto it = std::find_if(cert.coeffs.begin(), cert.coeffs.end(),
+                           [&](const CriticalCycleCert::Coeff& c) {
+                             return c.task == t && c.phase == p;
+                           });
+    if (it == cert.coeffs.end()) {
+      cert.coeffs.push_back({t, p, 1});
+    } else {
+      ++it->count;
+    }
+  }
+  std::sort(cert.coeffs.begin(), cert.coeffs.end(),
+            [](const CriticalCycleCert::Coeff& a, const CriticalCycleCert::Coeff& b) {
+              return a.task != b.task ? a.task < b.task : a.phase < b.phase;
+            });
+  cert.tasks = cg.tasks_on_circuit(solved.critical_cycle);
+  cert.k = cg.k;
+  cert.cycle_cost = cg.graph.cycle_cost(solved.critical_cycle);
+  cert.cycle_time = cg.graph.cycle_time(solved.critical_cycle);
+  if (cert.cycle_time.sign() <= 0 ||
+      solved.ratio != Rational(i128{cert.cycle_cost}, 1) / cert.cycle_time) {
+    throw SolverError("critical-cycle cert does not reproduce the solved ratio (invariant breach)");
+  }
+  cert.ratio = solved.ratio;
+  return cert;
+}
+
+void RegionCertifier::prepare(const ConstraintGraph& cg, const CriticalCycleCert& cert,
+                              const ExecTimeRay& ray, i64 s_anchor) {
+  cg_ = &cg;
+  cert_ = &cert;
+  s_anchor_ = s_anchor;
+  // Task -> axis lookup; tasks off every axis have constant durations.
+  const std::size_t task_count = cg.task_first_node.size();
+  std::vector<const ExecTimeRay::Axis*> axis_of(task_count, nullptr);
+  for (const ExecTimeRay::Axis& axis : ray.axes) {
+    if (axis.task >= 0 && static_cast<std::size_t>(axis.task) < task_count) {
+      axis_of[static_cast<std::size_t>(axis.task)] = &axis;
+    }
+  }
+  const Digraph& g = cg.graph.graph();
+  arc_slope_.assign(static_cast<std::size_t>(g.arc_count()), 0);
+  for (std::int32_t a = 0; a < g.arc_count(); ++a) {
+    const std::int32_t src = g.arc_unchecked(a).src;
+    const auto* axis = axis_of[static_cast<std::size_t>(cg.node_task[static_cast<std::size_t>(src)])];
+    if (axis != nullptr) {
+      const auto p = static_cast<std::size_t>(cg.node_phase[static_cast<std::size_t>(src)] - 1);
+      arc_slope_[static_cast<std::size_t>(a)] = axis->step[p];
+    }
+  }
+  i128 slope = 0;
+  for (const CriticalCycleCert::Coeff& c : cert.coeffs) {
+    const auto* axis = axis_of[static_cast<std::size_t>(c.task)];
+    if (axis != nullptr) {
+      slope = checked_add(slope, checked_mul(i128{c.count},
+                                             i128{axis->step[static_cast<std::size_t>(c.phase - 1)]}));
+    }
+  }
+  num_slope_ = narrow64(slope);
+}
+
+Rational RegionCertifier::ratio_at(i64 s) const {
+  return Rational(i128{numerator_at(s)}, 1) / cert_->cycle_time;
+}
+
+i64 RegionCertifier::numerator_at(i64 s) const {
+  return narrow64(checked_add(i128{cert_->cycle_cost},
+                              checked_mul(i128{s} - i128{s_anchor_}, i128{num_slope_})));
+}
+
+bool RegionCertifier::valid_at(i64 s, McrpScratch& mcrp) {
+  const i128 ds = i128{s} - i128{s_anchor_};
+  const i128 num = checked_add(i128{cert_->cycle_cost}, checked_mul(ds, i128{num_slope_}));
+  if (num <= 0) return false;
+  const Rational lambda = Rational(num, 1) / cert_->cycle_time;
+  const BivaluedGraph& bg = cg_->graph;
+  const std::span<const i64> costs = bg.costs();
+  const std::span<const Rational> times = bg.times();
+  weights_.resize(costs.size());
+  for (std::size_t a = 0; a < costs.size(); ++a) {
+    const i128 cost = checked_add(i128{costs[a]}, checked_mul(ds, i128{arc_slope_[a]}));
+    weights_[a] = Rational(cost, 1) - lambda * times[a];
+  }
+  return !has_positive_cycle(bg, weights_, mcrp);
+}
+
+i64 RegionCertifier::region_end(i64 s_last, McrpScratch& mcrp) {
+  if (s_last <= s_anchor_) return s_anchor_;
+  if (valid_at(s_last, mcrp)) return s_last;
+  i64 lo = s_anchor_;  // valid: certified by the anchor's own exact solve
+  i64 hi = s_last;     // invalid: just checked
+  while (hi - lo > 1) {
+    const i64 mid = lo + (hi - lo) / 2;
+    if (valid_at(mid, mcrp)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace kp

@@ -134,10 +134,99 @@ bool bf_positive_cycle(std::int32_t n, McrpScratch& s) {
   return false;
 }
 
+/// bf_positive_cycle with pre-scaled integer weights (scratch.int_weights):
+/// identical worklist relaxation, but the labels are plain i128 — no
+/// rational normalization per step. The caller guarantees label sums
+/// cannot overflow ((n+1)·max|weight| fits i128 with headroom).
+bool bf_positive_cycle_int(std::int32_t n, McrpScratch& s) {
+  s.int_dist.assign(static_cast<std::size_t>(n), 0);
+  s.parent.assign(static_cast<std::size_t>(n), -1);
+  s.len.assign(static_cast<std::size_t>(n), 0);
+  s.queued.assign(static_cast<std::size_t>(n), 0);
+  s.bf_cycle.clear();
+  RingQueue queue(s.ring, n);
+  for (std::int32_t v = 0; v < n; ++v) {
+    if (s.out_offsets[static_cast<std::size_t>(v)] !=
+        s.out_offsets[static_cast<std::size_t>(v) + 1]) {
+      queue.push(v);
+      s.queued[static_cast<std::size_t>(v)] = 1;
+    }
+  }
+
+  while (!queue.empty()) {
+    const std::int32_t u = queue.pop();
+    s.queued[static_cast<std::size_t>(u)] = 0;
+    const auto lo = static_cast<std::size_t>(s.out_offsets[static_cast<std::size_t>(u)]);
+    const auto hi = static_cast<std::size_t>(s.out_offsets[static_cast<std::size_t>(u) + 1]);
+    for (std::size_t k = lo; k < hi; ++k) {
+      const std::int32_t i = s.out_ids[k];
+      const ArcRef& a = s.cyclic[static_cast<std::size_t>(i)];
+      const i128 cand =
+          s.int_dist[static_cast<std::size_t>(a.src)] + s.int_weights[static_cast<std::size_t>(i)];
+      if (!(cand > s.int_dist[static_cast<std::size_t>(a.dst)])) continue;
+      s.int_dist[static_cast<std::size_t>(a.dst)] = cand;
+      s.parent[static_cast<std::size_t>(a.dst)] = i;
+      s.len[static_cast<std::size_t>(a.dst)] = s.len[static_cast<std::size_t>(a.src)] + 1;
+      if (s.len[static_cast<std::size_t>(a.dst)] >= n) {
+        if (!parent_graph_cycle(n, s)) {
+          throw SolverError("positive-cycle detection: parent graph acyclic (invariant breach)");
+        }
+        s.bf_cycle.reserve(s.cycle_local.size());
+        for (const std::int32_t local : s.cycle_local) {
+          s.bf_cycle.push_back(s.cyclic[static_cast<std::size_t>(local)].id);
+        }
+        return true;
+      }
+      if (!s.queued[static_cast<std::size_t>(a.dst)]) {
+        s.queued[static_cast<std::size_t>(a.dst)] = 1;
+        queue.push(a.dst);
+      }
+    }
+  }
+  return false;
+}
+
 /// True if the circuit makes the constraint system unsatisfiable for every
 /// positive period: H(c) < 0, or H(c) == 0 with L(c) > 0.
 bool is_infeasible_circuit(i64 cost, const Rational& time) {
   return time.sign() < 0 || (time.is_zero() && cost > 0);
+}
+
+/// (Re)derives the scratch's SCC-restricted cyclic core and its CSR
+/// adjacency for `bg` (whose Digraph must be finalized), recording the warm
+/// key so a later stamp-matching solve or positive-cycle check reuses them.
+void derive_cyclic_core(const BivaluedGraph& bg, McrpScratch& scratch) {
+  const Digraph& g = bg.graph();
+  const std::int32_t n = g.node_count();
+  scratch.warm_stamp = 0;
+  // Circuits live inside strongly connected components; restrict the
+  // cycle search to arcs whose endpoints share an SCC.
+  strongly_connected_components(g, scratch.scc, scratch.scc_result);
+  const SccResult& scc = scratch.scc_result;
+  scratch.cyclic.clear();
+  const std::span<const Digraph::Arc> all_arcs = g.arcs();
+  for (std::int32_t a = 0; a < g.arc_count(); ++a) {
+    const auto& e = all_arcs[static_cast<std::size_t>(a)];
+    if (scc.component_of[static_cast<std::size_t>(e.src)] ==
+        scc.component_of[static_cast<std::size_t>(e.dst)]) {
+      scratch.cyclic.push_back(ArcRef{a, e.src, e.dst});
+    }
+  }
+  if (!scratch.cyclic.empty()) {
+    build_csr_index(n, scratch.cyclic, [](const ArcRef& a) { return a.src; },
+                    scratch.out_offsets, scratch.out_ids, scratch.cursor);
+  }
+  scratch.warm_stamp = bg.layout_stamp();
+  scratch.warm_nodes = n;
+  scratch.warm_arcs = g.arc_count();
+}
+
+/// True when the scratch's cyclic core + CSR were derived from a graph with
+/// this exact layout (node/arc topology and H payloads; L costs free).
+bool core_reusable(const BivaluedGraph& bg, const McrpScratch& scratch) {
+  return scratch.warm_stamp != 0 && scratch.warm_stamp == bg.layout_stamp() &&
+         scratch.warm_nodes == bg.graph().node_count() &&
+         scratch.warm_arcs == bg.graph().arc_count();
 }
 
 }  // namespace
@@ -170,26 +259,9 @@ void solve_max_cycle_ratio(const BivaluedGraph& bg, const McrpOptions& options,
   // set_cost since the scratch last saw this graph) — so a warm solve
   // skips the SCC pass and both derivations. Recorded unconditionally
   // after a cold derivation so a later warm call can reuse it.
-  const std::uint64_t stamp = bg.layout_stamp();
-  const bool reuse_core = options.howard_warm_start && scratch.warm_stamp == stamp &&
-                          scratch.warm_nodes == n && scratch.warm_arcs == g.arc_count();
+  const bool reuse_core = options.howard_warm_start && core_reusable(bg, scratch);
+  if (!reuse_core) derive_cyclic_core(bg, scratch);
   auto& cyclic = scratch.cyclic;
-  if (!reuse_core) {
-    scratch.warm_stamp = 0;
-    // Circuits live inside strongly connected components; restrict the
-    // cycle search to arcs whose endpoints share an SCC.
-    strongly_connected_components(g, scratch.scc, scratch.scc_result);
-    const SccResult& scc = scratch.scc_result;
-    cyclic.clear();
-    const std::span<const Digraph::Arc> all_arcs = g.arcs();
-    for (std::int32_t a = 0; a < g.arc_count(); ++a) {
-      const auto& e = all_arcs[static_cast<std::size_t>(a)];
-      if (scc.component_of[static_cast<std::size_t>(e.src)] ==
-          scc.component_of[static_cast<std::size_t>(e.dst)]) {
-        cyclic.push_back(ArcRef{a, e.src, e.dst});
-      }
-    }
-  }
 
   Rational lambda{0};
   auto& critical = scratch.critical;
@@ -202,15 +274,6 @@ void solve_max_cycle_ratio(const BivaluedGraph& bg, const McrpOptions& options,
   };
 
   if (!cyclic.empty()) {
-    if (!reuse_core) {
-      // CSR adjacency over the cyclic core, built once per cold solve.
-      build_csr_index(n, cyclic, [](const ArcRef& a) { return a.src; }, scratch.out_offsets,
-                      scratch.out_ids, scratch.cursor);
-      scratch.warm_stamp = stamp;
-      scratch.warm_nodes = n;
-      scratch.warm_arcs = g.arc_count();
-    }
-
     // ---- accelerated phase: Howard warm start ------------------------------
     // Double-precision policy iteration usually lands on (or next to) the
     // critical circuit; its candidate's *exact* ratio seeds λ so the exact
@@ -314,6 +377,51 @@ void solve_max_cycle_ratio(const BivaluedGraph& bg, const McrpOptions& options,
   if (options.compute_potentials) {
     compute_mcrp_potentials(bg, lambda, scratch, out.potentials);
   }
+}
+
+bool has_positive_cycle(const BivaluedGraph& bg, std::span<const Rational> weights,
+                        McrpScratch& scratch) {
+  const Digraph& g = bg.graph();
+  g.finalize();
+  if (weights.size() != static_cast<std::size_t>(g.arc_count())) {
+    throw SolverError("has_positive_cycle: one weight per arc required");
+  }
+  if (!core_reusable(bg, scratch)) derive_cyclic_core(bg, scratch);
+  if (scratch.cyclic.empty()) return false;
+  const std::int32_t n = g.node_count();
+
+  // Integer fast path: scale every cyclic weight by the lcm of their
+  // denominators — a positive factor, so every cycle's weight keeps its
+  // sign and positive-cycle existence is unchanged — then relax plain i128
+  // labels. Bails to the rational Bellman–Ford when the common denominator
+  // or the scaled magnitudes leave no headroom for label sums
+  // (|label| <= (n+1)·max|weight| must stay clear of the i128 range).
+  try {
+    i128 common = 1;
+    for (const McrpScratch::ArcRef& a : scratch.cyclic) {
+      common = lcm128(common, weights[static_cast<std::size_t>(a.id)].den());
+    }
+    auto& iw = scratch.int_weights;
+    iw.resize(scratch.cyclic.size());
+    i128 max_abs = 0;
+    for (std::size_t i = 0; i < scratch.cyclic.size(); ++i) {
+      const Rational& w = weights[static_cast<std::size_t>(scratch.cyclic[i].id)];
+      iw[i] = checked_mul(w.num(), common / w.den());
+      max_abs = std::max(max_abs, abs128(iw[i]));
+    }
+    constexpr i128 k_i128_max = static_cast<i128>((~static_cast<unsigned __int128>(0)) >> 1);
+    if (max_abs > k_i128_max / (i128{n} + 2)) throw_overflow("has_positive_cycle scale");
+    return bf_positive_cycle_int(n, scratch);
+  } catch (const OverflowError&) {
+    // Magnitudes too large to scale: fall through to exact rationals.
+  }
+
+  auto& we = scratch.weights;
+  we.resize(scratch.cyclic.size());
+  for (std::size_t i = 0; i < scratch.cyclic.size(); ++i) {
+    we[i] = weights[static_cast<std::size_t>(scratch.cyclic[i].id)];
+  }
+  return bf_positive_cycle(n, scratch);
 }
 
 void compute_mcrp_potentials(const BivaluedGraph& bg, const Rational& lambda,

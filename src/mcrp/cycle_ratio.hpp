@@ -105,8 +105,11 @@ struct McrpScratch {
   std::vector<std::int32_t> out_ids;
   std::vector<std::int32_t> cursor;
 
-  // Bellman–Ford relaxation state.
+  // Bellman–Ford relaxation state. int_weights/int_dist serve the
+  // common-denominator integer fast path of has_positive_cycle.
   std::vector<Rational> dist;
+  std::vector<i128> int_weights;
+  std::vector<i128> int_dist;
   std::vector<std::int32_t> parent;
   std::vector<std::int32_t> len;
   std::vector<std::int32_t> ring;  // fixed-capacity ring buffer queue
@@ -139,6 +142,20 @@ struct McrpScratch {
 /// Allocation-free (when warm) variant writing into `out`.
 void solve_max_cycle_ratio(const BivaluedGraph& g, const McrpOptions& options,
                            McrpScratch& scratch, McrpResult& out);
+
+/// True iff some circuit of `g` has positive total weight under the per-arc
+/// rational `weights` (one entry per arc id). Reuses the scratch's
+/// SCC-restricted cyclic core and CSR adjacency when the graph's layout
+/// stamp matches what the scratch last derived (any prior solve on `g`
+/// records it); derives them cold otherwise. When the weights admit a
+/// common denominator with i128 headroom (the usual case), the relaxation
+/// runs on scaled integer labels — same verdict, no per-step rational
+/// normalization. The symbolic-region engine (core/regions.hpp) calls this
+/// to certify that a candidate ratio λ stays maximal along a parameter
+/// ray: no circuit beats λ iff no circuit is positive under
+/// w(e) = L(e) - λ·H(e).
+[[nodiscard]] bool has_positive_cycle(const BivaluedGraph& g, std::span<const Rational> weights,
+                                      McrpScratch& scratch);
 
 /// Just the potentials relaxation at a given λ (the pass solve_… performs
 /// when compute_potentials is set). Precondition: no circuit of `g` has

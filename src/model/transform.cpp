@@ -1,6 +1,7 @@
 #include "model/transform.hpp"
 
 #include <algorithm>
+#include <limits>
 
 namespace kp {
 
@@ -197,6 +198,101 @@ CsdfGraph make_variant(const CsdfGraph& base, const GraphDelta& d) {
   CsdfGraph out = base;
   apply_delta(out, d);
   return out;
+}
+
+std::vector<GraphDelta> exec_time_sweep(const CsdfGraph& base, const ExecTimeRay& ray,
+                                        std::span<const i64> s_values) {
+  for (std::size_t a = 0; a < ray.axes.size(); ++a) {
+    const ExecTimeRay::Axis& axis = ray.axes[a];
+    const auto phi = static_cast<std::size_t>(base.phases(axis.task));  // bounds-checks the task
+    if (axis.base.size() != phi || axis.step.size() != phi) {
+      throw ModelError("exec_time_sweep: axis " + std::to_string(a) + " (task " +
+                       std::to_string(axis.task) + "): base/step need " + std::to_string(phi) +
+                       " entries");
+    }
+    for (std::size_t b = 0; b < a; ++b) {
+      if (ray.axes[b].task == axis.task) {
+        throw ModelError("exec_time_sweep: task " + std::to_string(axis.task) +
+                         " named by two axes");
+      }
+    }
+  }
+  std::vector<GraphDelta> out;
+  out.reserve(s_values.size());
+  for (const i64 s : s_values) {
+    GraphDelta d;
+    d.exec_times.reserve(ray.axes.size());
+    for (const ExecTimeRay::Axis& axis : ray.axes) {
+      std::vector<i64> durations(axis.base.size());
+      for (std::size_t p = 0; p < durations.size(); ++p) {
+        const i64 v =
+            narrow64(checked_add(i128{axis.base[p]}, checked_mul(i128{s}, i128{axis.step[p]})));
+        if (v < 0) {
+          throw ModelError("exec_time_sweep: task " + std::to_string(axis.task) + " phase " +
+                           std::to_string(p + 1) + " duration " + std::to_string(v) +
+                           " negative at s=" + std::to_string(s));
+        }
+        durations[p] = v;
+      }
+      d.exec_times.push_back({axis.task, std::move(durations)});
+    }
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+std::optional<ExecTimeRay> infer_exec_time_ray(std::span<const GraphDelta> deltas) {
+  if (deltas.size() < 2) return std::nullopt;
+  const GraphDelta& d0 = deltas[0];
+  const GraphDelta& d1 = deltas[1];
+  if (d0.exec_times.empty()) return std::nullopt;
+  for (const GraphDelta& d : deltas) {
+    if (!d.markings.empty() || !d.rates.empty()) return std::nullopt;
+    if (d.exec_times.size() != d0.exec_times.size()) return std::nullopt;
+  }
+  // Axes from the first two samples: base = delta0, step = delta1 - delta0.
+  ExecTimeRay ray;
+  ray.axes.reserve(d0.exec_times.size());
+  for (std::size_t a = 0; a < d0.exec_times.size(); ++a) {
+    const GraphDelta::ExecTime& e0 = d0.exec_times[a];
+    const GraphDelta::ExecTime& e1 = d1.exec_times[a];
+    if (e1.task != e0.task || e1.durations.size() != e0.durations.size()) return std::nullopt;
+    for (std::size_t b = 0; b < a; ++b) {
+      // The same task twice in one delta has later-wins apply semantics;
+      // too ambiguous to treat as a ray.
+      if (d0.exec_times[b].task == e0.task) return std::nullopt;
+    }
+    ExecTimeRay::Axis axis;
+    axis.task = e0.task;
+    axis.base = e0.durations;
+    axis.step.resize(e0.durations.size());
+    for (std::size_t p = 0; p < e0.durations.size(); ++p) {
+      const i128 step = i128{e1.durations[p]} - i128{e0.durations[p]};
+      if (step < i128{std::numeric_limits<i64>::min()} ||
+          step > i128{std::numeric_limits<i64>::max()}) {
+        return std::nullopt;
+      }
+      axis.step[p] = static_cast<i64>(step);
+    }
+    ray.axes.push_back(std::move(axis));
+  }
+  // Every sample (including the first two) must sit exactly on the ray with
+  // nonnegative durations — so a symbolic fill that never applies the delta
+  // is guaranteed the same values apply_delta would have produced.
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    for (std::size_t a = 0; a < ray.axes.size(); ++a) {
+      const GraphDelta::ExecTime& e = deltas[i].exec_times[a];
+      const ExecTimeRay::Axis& axis = ray.axes[a];
+      if (e.task != axis.task || e.durations.size() != axis.base.size()) return std::nullopt;
+      for (std::size_t p = 0; p < axis.base.size(); ++p) {
+        if (e.durations[p] < 0) return std::nullopt;
+        const i128 want =
+            i128{axis.base[p]} + i128{static_cast<i64>(i)} * i128{axis.step[p]};
+        if (i128{e.durations[p]} != want) return std::nullopt;
+      }
+    }
+  }
+  return ray;
 }
 
 std::vector<GraphDelta> exec_time_sweep(const CsdfGraph& base, TaskId task,

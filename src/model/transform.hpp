@@ -12,6 +12,7 @@
 //   the two agree.
 #pragma once
 
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -113,5 +114,37 @@ void revert_delta(CsdfGraph& g, const GraphDelta& d, const CsdfGraph& base);
 /// classic "sweep one actor's execution time" DSE axis.
 [[nodiscard]] std::vector<GraphDelta> exec_time_sweep(const CsdfGraph& base, TaskId task,
                                                       std::span<const i64> values);
+
+/// An affine execution-time ray τ(s) = base + s·step over one or more tasks
+/// — the DVFS-style sweep axis (e.g. several actors on one voltage island
+/// scaling together, possibly with different per-phase slopes). Tasks not
+/// named by an axis keep their graph durations at every s.
+struct ExecTimeRay {
+  struct Axis {
+    TaskId task = -1;
+    std::vector<i64> base;  ///< phi(task) entries: durations at s = 0
+    std::vector<i64> step;  ///< phi(task) entries, any sign: d(duration)/ds
+  };
+  std::vector<Axis> axes;
+
+  [[nodiscard]] bool empty() const noexcept { return axes.empty(); }
+};
+
+/// One delta per sample: each axis task's durations set to base + s·step.
+/// Throws ModelError when an axis names a missing task, has vectors of the
+/// wrong size, names a task twice, or produces a negative duration at some
+/// sample — generated sweeps are valid by construction.
+[[nodiscard]] std::vector<GraphDelta> exec_time_sweep(const CsdfGraph& base,
+                                                      const ExecTimeRay& ray,
+                                                      std::span<const i64> s_values);
+
+/// Recognizes a delta sequence as an affine exec-time ray with s = the
+/// delta's index: exec-time-only deltas, identical task lists, and every
+/// duration vector equal to delta0 + index·(delta1 − delta0), all values
+/// nonnegative. Returns nullopt otherwise (also for fewer than 2 deltas, or
+/// a task edited twice in one delta). This is the gate for the service's
+/// symbolic-region mode: sweeps it accepts are exactly the ones whose
+/// constraint-graph L payloads move affinely with the index.
+[[nodiscard]] std::optional<ExecTimeRay> infer_exec_time_ray(std::span<const GraphDelta> deltas);
 
 }  // namespace kp
