@@ -33,7 +33,8 @@ namespace {
 using namespace kp;
 
 struct CaseResult {
-  int threads = 0;
+  int threads = 0;   // requested pool size
+  int workers = 0;   // worker count the service actually resolved
   double total_ms = 0;
   double graphs_per_sec = 0;
   double speedup_vs_1 = 0;
@@ -136,6 +137,7 @@ int main(int argc, char** argv) {
 
     CaseResult cr;
     cr.threads = threads;
+    cr.workers = service.worker_count();
     cr.total_ms = best_ms;
     cr.graphs_per_sec = graphs / (best_ms / 1000.0);
     cr.speedup_vs_1 = results.empty() ? 1.0 : cr.graphs_per_sec / results[0].graphs_per_sec;
@@ -146,14 +148,14 @@ int main(int argc, char** argv) {
   table.print(std::cout);
 
   std::ofstream json(json_path);
-  json << "{\n  \"schema\": 1,\n  \"sweep\": \"random-csdf\",\n  \"graphs\": " << graphs
-       << ",\n  \"method\": \"" << method_name(method)
-       << "\",\n  \"hardware_concurrency\": " << hw << ",\n  \"deterministic\": "
-       << (deterministic ? "true" : "false") << ",\n  \"cases\": [\n";
+  json << "{\n  \"schema\": 2,\n  \"sweep\": \"random-csdf\",\n  \"graphs\": " << graphs
+       << ",\n  \"method\": \"" << method_name(method) << "\",\n  \"hardware_cores\": " << hw
+       << ",\n  \"deterministic\": " << (deterministic ? "true" : "false")
+       << ",\n  \"cases\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const CaseResult& cr = results[i];
-    json << "    {\"threads\": " << cr.threads << ", \"total_ms\": " << cr.total_ms
-         << ", \"graphs_per_sec\": " << cr.graphs_per_sec
+    json << "    {\"threads\": " << cr.threads << ", \"workers\": " << cr.workers
+         << ", \"total_ms\": " << cr.total_ms << ", \"graphs_per_sec\": " << cr.graphs_per_sec
          << ", \"speedup_vs_1\": " << cr.speedup_vs_1 << "}"
          << (i + 1 < results.size() ? "," : "") << "\n";
   }

@@ -36,7 +36,7 @@
 //
 // Results go to stdout and into BENCH_hotpath.json (first CLI arg overrides
 // the path): if the file already holds a bench_hotpath run, the "dse"
-// section is merged into it (schema 6); otherwise a standalone file is
+// section is merged into it (schema 7); otherwise a standalone file is
 // written. Run bench_hotpath first when regenerating the committed baseline.
 #include <cstdio>
 #include <fstream>
@@ -117,7 +117,7 @@ void write_json(const std::string& path, const std::string& dse_section) {
     while (!head.empty() && (head.back() == '\n' || head.back() == ' ')) head.pop_back();
     out << head << ",\n  \"dse\": " << dse_section << "\n}\n";
   } else {
-    out << "{\n  \"schema\": 6,\n  \"dse\": " << dse_section << "\n}\n";
+    out << "{\n  \"schema\": 7,\n  \"dse\": " << dse_section << "\n}\n";
   }
 }
 

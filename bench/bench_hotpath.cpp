@@ -25,6 +25,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -178,8 +179,13 @@ int main(int argc, char** argv) {
             << "-task gcd chain, 1 task's K flips per round\n\n";
   inc_table.print(std::cout);
 
+  // hardware_cores records what this box could have offered; the microbench
+  // itself is single-threaded (workers: 1), so readers of the committed
+  // baseline can tell a 1-core container capture from a real machine's.
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   std::ofstream json(json_path);
-  json << "{\n  \"schema\": 6,\n  \"sweep\": \"gcd-ring\",\n  \"cases\": [\n";
+  json << "{\n  \"schema\": 7,\n  \"sweep\": \"gcd-ring\",\n  \"hardware_cores\": " << hw
+       << ",\n  \"workers\": 1,\n  \"cases\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const CaseResult& cr = results[i];
     json << "    {\"g\": " << cr.g << ", \"pairs\": " << to_string(cr.pairs)

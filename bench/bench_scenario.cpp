@@ -24,7 +24,7 @@
 //
 // Results go to stdout and into BENCH_hotpath.json (first CLI arg overrides
 // the path): the "scenario" section is merged into an existing bench run
-// (schema 6); otherwise a standalone file is written. When regenerating the
+// (schema 7); otherwise a standalone file is written. When regenerating the
 // committed baseline run bench_hotpath, then bench_dse, then this.
 #include <cstdio>
 #include <fstream>
@@ -63,7 +63,7 @@ std::string fmt(double v, const char* spec = "%.4f") {
 
 /// Merges the "scenario" section into an existing bench JSON (replacing a
 /// previous "scenario" section, so reruns never accumulate duplicates), or
-/// writes a standalone schema-6 file. Mirrors bench_dse's writer; this
+/// writes a standalone schema-7 file. Mirrors bench_dse's writer; this
 /// binary runs last when regenerating the committed baseline.
 void write_json(const std::string& path, const std::string& section) {
   std::string existing;
@@ -87,7 +87,7 @@ void write_json(const std::string& path, const std::string& section) {
     while (!head.empty() && (head.back() == '\n' || head.back() == ' ')) head.pop_back();
     out << head << ",\n  \"scenario\": " << section << "\n}\n";
   } else {
-    out << "{\n  \"schema\": 6,\n  \"scenario\": " << section << "\n}\n";
+    out << "{\n  \"schema\": 7,\n  \"scenario\": " << section << "\n}\n";
   }
 }
 

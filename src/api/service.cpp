@@ -133,7 +133,7 @@ Analysis run_kiter(const CsdfGraph& g, const AnalysisOptions& options, double de
       *warm_k_valid = true;
     } else {
       *warm_k_valid = false;
-      ws.mcrp.reset_warm_start();
+      ws.reset_solver_warm_start();
     }
   }
   a.detail = detail.str();
@@ -252,7 +252,7 @@ Analysis execute_request(const CsdfGraph& graph, Method method, const AnalysisOp
     // Cancellation is a warm-state boundary like any other fallback.
     if (warm_k_valid != nullptr) {
       *warm_k_valid = false;
-      ws.mcrp.reset_warm_start();
+      ws.reset_solver_warm_start();
     }
     return a;
   }
@@ -290,14 +290,35 @@ struct ThroughputService::VariantRun {
   u64 gen = 0;
 };
 
+/// One intra-graph farm-out in flight: a nested batch of independent
+/// indexed tasks (the per-SCC MCRP sub-solves of one constraint graph)
+/// shared between the owning worker and any idle pool workers. Claiming is
+/// a single atomic counter — each index runs exactly once, on whichever
+/// thread grabs it first — and the owner claims until the counter is
+/// exhausted before waiting, so the group always completes even if no
+/// helper ever arrives (shutdown-safe and deadlock-free by construction:
+/// nobody waits on work that is not already running to completion).
+struct ThroughputService::SubtaskGroup {
+  void (*fn)(void*, std::int32_t) = nullptr;
+  void* ctx = nullptr;
+  std::int32_t n = 0;
+  std::atomic<std::int32_t> next{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::int32_t done = 0;  // guarded by mu
+};
+
 /// One enqueued request. Batch jobs reference the caller's span (valid for
 /// the whole blocking analyze_batch call); submitted jobs own theirs;
-/// variant jobs name a (run, delta index) pair instead of carrying a graph.
+/// variant jobs name a (run, delta index) pair instead of carrying a graph;
+/// helper-marker jobs carry a SubtaskGroup and nothing else (one marker =
+/// one invitation for an idle worker to join that group).
 struct ThroughputService::Job {
   const AnalysisRequest* request = nullptr;
   AnalysisRequest owned;
   const VariantRun* variant = nullptr;
   std::size_t variant_index = 0;
+  std::shared_ptr<SubtaskGroup> group;
   i64 id = -1;
   Stopwatch queued;
   Analysis result;
@@ -320,6 +341,19 @@ ThroughputService::ThroughputService(ServiceOptions options) {
   // mode and analyze()); index n is the caller's.
   workers_.reserve(static_cast<std::size_t>(n) + 1);
   for (int i = 0; i <= n; ++i) workers_.push_back(std::make_unique<Worker>());
+  // Resolve the intra-graph cap against the actual pool: with no pool
+  // threads every solve runs the sequential decomposed path inline, so a
+  // cap above 1 buys nothing but still flips every KIter solve onto the
+  // partitioned solver (the point in inline mode: same results as the
+  // threaded service, testable single-threaded).
+  if (options.intra_graph_threads != 0) {
+    intra_limit_ = options.intra_graph_threads < 0
+                       ? std::max(1, n)
+                       : std::min(options.intra_graph_threads, std::max(1, n));
+    for (const std::unique_ptr<Worker>& w : workers_) {
+      w->workspace.intra = &intra_executor_;
+    }
+  }
   threads_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
     threads_.emplace_back([this, i] { worker_loop(i); });
@@ -341,6 +375,9 @@ ThroughputService::~ThroughputService() {
     // to the caller) observe a well-formed result.
     std::lock_guard<std::mutex> lk(mu_);
     for (const std::shared_ptr<Job>& job : orphans) {
+      // Helper markers are invitations, not requests: the owning worker
+      // always finishes its own group, so a dropped marker needs no result.
+      if (job->group != nullptr) continue;
       job->result.method = job->method();
       job->result.outcome = Outcome::Budget;
       job->result.detail = "service shut down before execution";
@@ -361,6 +398,13 @@ void ThroughputService::worker_loop(int worker_id) {
       if (queue_.empty()) return;  // stopping, nothing left to serve
       job = std::move(queue_.front());
       queue_.pop_front();
+    }
+    if (job->group != nullptr) {
+      // Helper marker: join the nested group until its counter is
+      // exhausted, then go back to the queue. No done/job_done_
+      // bookkeeping — nobody waits on the marker itself.
+      help(*job->group);
+      continue;
     }
     run_job(*job, worker_id);
     {
@@ -390,6 +434,75 @@ void ThroughputService::run_job(Job& job, int worker_id) {
   job.result.queue_ms = queue_ms;
 }
 
+void ThroughputService::help(SubtaskGroup& group) {
+  // Claim-until-exhausted: each fetch_add hands out one index exactly once,
+  // whichever thread gets there first. The group is complete when every
+  // CLAIMED index has also FINISHED (`done`), not merely been handed out —
+  // the owner may observe next >= n while a helper is still inside fn.
+  for (;;) {
+    const std::int32_t i = group.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= group.n) return;
+    group.fn(group.ctx, i);
+    std::int32_t done;
+    {
+      std::lock_guard<std::mutex> lk(group.mu);
+      done = ++group.done;
+    }
+    if (done == group.n) group.cv.notify_all();
+  }
+}
+
+void ThroughputService::run_subtasks(std::int32_t n, void (*fn)(void*, std::int32_t),
+                                     void* ctx) {
+  // Helpers beyond the pool are impossible (no thread is ever spawned
+  // here), beyond the cap are disallowed, and beyond n - 1 are useless
+  // (the owner is already one of the n claimants).
+  int helpers = std::min(static_cast<int>(threads_.size()), intra_limit_ - 1);
+  helpers = std::min(helpers, n - 1);
+  if (helpers <= 0 || n <= 1) {
+    for (std::int32_t i = 0; i < n; ++i) fn(ctx, i);
+    return;
+  }
+  auto group = std::make_shared<SubtaskGroup>();
+  group->fn = fn;
+  group->ctx = ctx;
+  group->n = n;
+  bool published = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!stopping_) {
+      // Markers go to the FRONT: nested work is the inside of a job some
+      // worker already owns, so finishing it beats starting fresh jobs —
+      // and a helper that pops one returns to the queue as soon as the
+      // counter runs dry, so batch jobs are delayed, never starved.
+      for (int i = 0; i < helpers; ++i) {
+        auto marker = std::make_shared<Job>();
+        marker->group = group;
+        queue_.push_front(std::move(marker));
+      }
+      published = true;
+    }
+  }
+  if (published) work_ready_.notify_all();
+  // The owner claims like any helper; by the time help() returns every
+  // index has been claimed, so the wait below is only for helpers still
+  // finishing their last claimed index (usually zero wait).
+  help(*group);
+  std::unique_lock<std::mutex> lk(group->mu);
+  group->cv.wait(lk, [&] { return group->done == group->n; });
+}
+
+void ThroughputService::IntraExecutor::run_indexed(std::int32_t n,
+                                                   void (*fn)(void*, std::int32_t),
+                                                   void* ctx) {
+  service_->run_subtasks(n, fn, ctx);
+}
+
+int ThroughputService::IntraExecutor::concurrency() const noexcept {
+  const int pool = std::max(1, static_cast<int>(service_->threads_.size()));
+  return std::max(1, std::min(service_->intra_limit_, pool));
+}
+
 Analysis ThroughputService::run_variant(const VariantRun& run, std::size_t index,
                                         Worker& worker) {
   // First variant of this batch on this worker: materialize the prepared
@@ -401,7 +514,7 @@ Analysis ThroughputService::run_variant(const VariantRun& run, std::size_t index
     // Batch start is a warm-state boundary: never seed the first variant of
     // a batch from whatever the worker solved last.
     worker.warm_k_valid = false;
-    worker.workspace.mcrp.reset_warm_start();
+    worker.workspace.reset_solver_warm_start();
   }
   const std::vector<GraphDelta>& deltas = run.batch->deltas;
   try {
@@ -428,7 +541,7 @@ Analysis ThroughputService::run_variant(const VariantRun& run, std::size_t index
     // K is meaningless here (kiter would sanitize it entry-by-entry, but an
     // rv change is a declared fallback boundary: go fully cold).
     worker.warm_k_valid = false;
-    worker.workspace.mcrp.reset_warm_start();
+    worker.workspace.reset_solver_warm_start();
   }
   if (warm) options.kiter.mcrp.howard_warm_start = true;
   return execute_request(worker.variant_graph, run.batch->method, options,

@@ -50,6 +50,7 @@
 #include "core/kperiodic.hpp"
 #include "model/transform.hpp"
 #include "scenario/scenario.hpp"
+#include "util/parallel.hpp"
 
 namespace kp {
 
@@ -103,6 +104,22 @@ struct ServiceOptions {
   /// request runs on the calling thread through worker 0's persistent
   /// workspace. < 0 = one worker per available hardware thread.
   int threads = -1;
+
+  /// Intra-graph parallelism (0 = off, the default). When non-zero, every
+  /// KIter analysis solves its constraint graph's MCRP SCC-decomposed
+  /// (mcrp/cycle_ratio.hpp): the per-SCC sub-solves of ONE graph are farmed
+  /// across the SAME worker pool through a nested task API — an idle worker
+  /// picks up another worker's components, the owning worker claims
+  /// whatever nobody takes, and no thread beyond `threads` ever exists, so
+  /// batch-level and intra-graph work share the pool without
+  /// oversubscription. The value caps how many workers (counting the owner)
+  /// one solve may use; < 0 = the whole pool. Results follow the
+  /// partitioned determinism contract: bit-identical at any `threads` AND
+  /// any `intra_graph_threads` (including inline mode, where the solve
+  /// degrades to the sequential decomposed oracle), but the reported
+  /// co-critical circuit may differ from the whole-graph solver's — which
+  /// is why this is opt-in rather than always-on.
+  int intra_graph_threads = 0;
 };
 
 /// A parametric DSE batch: one base graph plus one GraphDelta per variant
@@ -248,6 +265,22 @@ class ThroughputService {
  private:
   struct Job;
   struct VariantRun;
+  struct SubtaskGroup;
+
+  /// The pool-backed ParallelExecutor installed on every worker workspace
+  /// when intra_graph_threads is enabled. run_indexed publishes helper
+  /// markers to the service queue and claims indices on the calling thread
+  /// until exhausted, so completion never depends on a helper arriving.
+  class IntraExecutor final : public ParallelExecutor {
+   public:
+    explicit IntraExecutor(ThroughputService* service) : service_(service) {}
+    void run_indexed(std::int32_t n, void (*fn)(void*, std::int32_t), void* ctx) override;
+    [[nodiscard]] int concurrency() const noexcept override;
+
+   private:
+    ThroughputService* service_;
+  };
+
   struct Worker {
     KIterWorkspace workspace;
     std::mutex in_use;  // guards the workspace in inline mode
@@ -269,6 +302,8 @@ class ThroughputService {
 
   void worker_loop(int worker_id);
   void run_job(Job& job, int worker_id);
+  void run_subtasks(std::int32_t n, void (*fn)(void*, std::int32_t), void* ctx);
+  static void help(SubtaskGroup& group);
   Analysis run_variant(const VariantRun& run, std::size_t index, Worker& worker);
   [[nodiscard]] std::vector<Analysis> run_symbolic_variants(const VariantRun& run,
                                                             const ExecTimeRay& ray);
@@ -277,6 +312,8 @@ class ThroughputService {
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
+  IntraExecutor intra_executor_{this};
+  int intra_limit_ = 0;  ///< resolved workers-per-solve cap; 0 = off
 
   std::mutex mu_;
   std::condition_variable work_ready_;

@@ -22,6 +22,14 @@ struct KarpResult {
 };
 
 /// Maximum cycle mean of `g` with integer arc weights `w` (one per arc id).
-[[nodiscard]] KarpResult karp_max_cycle_mean(const Digraph& g, const std::vector<i64>& weights);
+///
+/// SCCs larger than `max_scc_nodes` would need O(n²) DP tables (a 20k-node
+/// component already wants ~6 GB); instead of failing the whole solve they
+/// are routed through the exact cycle-ratio solver (H = 1 per arc makes
+/// ratio == mean) — same exact value, same critical-cycle contract, just a
+/// different engine for that component. The threshold is a parameter so
+/// tests can pin the fallback without building a 20k-node graph.
+[[nodiscard]] KarpResult karp_max_cycle_mean(const Digraph& g, const std::vector<i64>& weights,
+                                             std::size_t max_scc_nodes = 20000);
 
 }  // namespace kp

@@ -1,0 +1,48 @@
+// Executor seam for intra-graph parallelism.
+//
+// The SCC-decomposed MCRP solver (mcrp/cycle_ratio.hpp) farms one
+// independent sub-solve per non-trivial component. It does not own threads:
+// it hands the indexed batch to a ParallelExecutor, so the same solver code
+// runs sequentially (SerialExecutor, the reference oracle) or across the
+// ThroughputService worker pool (api/service.hpp installs its pool-backed
+// executor on each worker's KIterWorkspace) — one pool, two work
+// granularities, no oversubscription.
+#pragma once
+
+#include <cstdint>
+
+namespace kp {
+
+/// Runs `fn(ctx, i)` exactly once for every i in [0, n), returning only
+/// when every call has completed. An implementation may execute any subset
+/// of the indices on the calling thread (the serial executor runs all of
+/// them there) and the rest on helper threads; distinct indices may run
+/// concurrently. `fn` must therefore be safe to call from multiple threads
+/// on distinct indices, and must not throw — capture failures into `ctx`
+/// and rethrow after run_indexed returns (an exception escaping on a
+/// helper thread terminates the process).
+class ParallelExecutor {
+ public:
+  virtual ~ParallelExecutor() = default;
+
+  virtual void run_indexed(std::int32_t n, void (*fn)(void* ctx, std::int32_t index),
+                           void* ctx) = 0;
+
+  /// Upper bound on the threads that may execute indices concurrently,
+  /// counting the caller (>= 1). Observability only (benchmarks report it);
+  /// callers must stay correct at any width.
+  [[nodiscard]] virtual int concurrency() const noexcept = 0;
+};
+
+/// Executes every index inline on the calling thread, in ascending order:
+/// the sequential reference any parallel executor must be indistinguishable
+/// from (deterministic callers produce bit-identical results either way).
+class SerialExecutor final : public ParallelExecutor {
+ public:
+  void run_indexed(std::int32_t n, void (*fn)(void*, std::int32_t), void* ctx) override {
+    for (std::int32_t i = 0; i < n; ++i) fn(ctx, i);
+  }
+  [[nodiscard]] int concurrency() const noexcept override { return 1; }
+};
+
+}  // namespace kp

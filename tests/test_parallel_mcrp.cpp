@@ -1,0 +1,346 @@
+// Tests for the SCC-partitioned MCRP solver and the service's intra-graph
+// parallelism: the partitioned solve must be bit-identical at any executor
+// width (including the inline sequential oracle), agree with the
+// whole-graph solver on status and ratio on hundreds of random multi-SCC
+// instances, and abort cleanly when a poll fires between component solves.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "api/service.hpp"
+#include "gen/random_csdf.hpp"
+#include "graph/scc.hpp"
+#include "mcrp/cycle_ratio.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace kp {
+namespace {
+
+/// Test-only executor: real std::threads racing over the index counter, so
+/// the determinism contract is exercised under genuine interleaving (the
+/// service's pool-backed executor is tested separately below).
+class ThreadedTestExecutor final : public ParallelExecutor {
+ public:
+  explicit ThreadedTestExecutor(int threads) : threads_(threads) {}
+
+  void run_indexed(std::int32_t n, void (*fn)(void*, std::int32_t), void* ctx) override {
+    std::atomic<std::int32_t> next{0};
+    const auto work = [&] {
+      for (;;) {
+        const std::int32_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        fn(ctx, i);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads_ - 1));
+    for (int t = 1; t < threads_; ++t) pool.emplace_back(work);
+    work();
+    for (std::thread& th : pool) th.join();
+  }
+
+  [[nodiscard]] int concurrency() const noexcept override { return threads_; }
+
+ private:
+  int threads_;
+};
+
+/// Random bi-valued graph with exactly `sccs` non-trivial strongly
+/// connected components: rings of 1..5 nodes with random chords, chained by
+/// forward-only arcs. With `force_infeasible`, one cluster gets a zero-H
+/// positive-L self-loop (an unsatisfiable circuit).
+BivaluedGraph random_multi_scc_bivalued(Rng& rng, std::int32_t sccs, bool force_infeasible) {
+  std::vector<std::int32_t> first(static_cast<std::size_t>(sccs) + 1, 0);
+  std::int32_t total = 0;
+  for (std::int32_t c = 0; c < sccs; ++c) {
+    first[static_cast<std::size_t>(c)] = total;
+    total += static_cast<std::int32_t>(rng.uniform(1, 5));
+  }
+  first[static_cast<std::size_t>(sccs)] = total;
+  BivaluedGraph g(total);
+  const auto rnd_time = [&] {
+    return Rational::of(rng.uniform(1, 6), rng.uniform(1, 4));
+  };
+  for (std::int32_t c = 0; c < sccs; ++c) {
+    const std::int32_t lo = first[static_cast<std::size_t>(c)];
+    const std::int32_t hi = first[static_cast<std::size_t>(c) + 1];
+    const std::int32_t m = hi - lo;
+    if (m == 1) {
+      g.add_arc(lo, lo, rng.uniform(0, 12), rnd_time());
+    } else {
+      for (std::int32_t t = 0; t < m; ++t) {
+        g.add_arc(lo + t, lo + (t + 1) % m, rng.uniform(0, 12), rnd_time());
+      }
+      for (std::int32_t t = 0; t < m; ++t) {
+        if (rng.chance(1, 3)) {
+          g.add_arc(lo + t, lo + static_cast<std::int32_t>(rng.uniform(0, m - 1)), rng.uniform(0, 12),
+                    rnd_time());
+        }
+      }
+    }
+  }
+  for (std::int32_t c = 0; c + 1 < sccs; ++c) {
+    g.add_arc(first[static_cast<std::size_t>(c)], first[static_cast<std::size_t>(c) + 1],
+              rng.uniform(0, 12), rnd_time());
+  }
+  if (force_infeasible) {
+    const auto v = static_cast<std::int32_t>(rng.uniform(0, total - 1));
+    g.add_arc(v, v, 1 + rng.uniform(0, 5), Rational{0});
+  }
+  return g;
+}
+
+void expect_same_result(const McrpResult& a, const McrpResult& b) {
+  ASSERT_EQ(a.status, b.status);
+  EXPECT_EQ(a.ratio, b.ratio);
+  EXPECT_EQ(a.critical_cycle, b.critical_cycle);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.exact_iterations, b.exact_iterations);
+  EXPECT_EQ(a.howard_iterations, b.howard_iterations);
+}
+
+TEST(SccPartition, MatchesGroupedComponents) {
+  Rng rng(2024);
+  for (int iter = 0; iter < 50; ++iter) {
+    const auto sccs = static_cast<std::int32_t>(rng.uniform(2, 16));
+    const BivaluedGraph g = random_multi_scc_bivalued(rng, sccs, false);
+    SccScratch scratch;
+    SccPartition part;
+    build_scc_partition(g.graph(), scratch, part);
+    const auto groups = part.scc.grouped();
+    ASSERT_EQ(part.scc.component_count, static_cast<std::int32_t>(groups.size()));
+    std::int32_t grouped_nodes = 0;
+    for (std::int32_t c = 0; c < part.scc.component_count; ++c) {
+      const auto nodes = part.component_nodes(c);
+      ASSERT_EQ(nodes.size(), groups[static_cast<std::size_t>(c)].size());
+      // grouped() returns each component's nodes ascending, like ours.
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        EXPECT_EQ(nodes[i], groups[static_cast<std::size_t>(c)][i]);
+        EXPECT_EQ(part.local_of[static_cast<std::size_t>(nodes[i])],
+                  static_cast<std::int32_t>(i));
+      }
+      grouped_nodes += static_cast<std::int32_t>(nodes.size());
+      // Every internal arc's endpoints live in this component.
+      for (const std::int32_t a : part.component_arcs(c)) {
+        const auto& arc = g.graph().arc(a);
+        EXPECT_EQ(part.scc.component_of[static_cast<std::size_t>(arc.src)], c);
+        EXPECT_EQ(part.scc.component_of[static_cast<std::size_t>(arc.dst)], c);
+      }
+    }
+    EXPECT_EQ(grouped_nodes, g.node_count());
+    // Non-trivial components are exactly the generator's clusters.
+    EXPECT_EQ(static_cast<std::int32_t>(part.nontrivial.size()), sccs);
+  }
+}
+
+// The ISSUE's core property on 100+ graphs spanning 2..64 SCCs: the
+// partitioned solve agrees with the whole-graph solver on status and ratio,
+// its reported critical cycle genuinely realizes that ratio, and it is
+// bit-identical across executor widths 1 (inline), 2 and 5 under real
+// thread interleaving.
+TEST(ParallelMcrp, BitIdenticalAcrossExecutorWidths) {
+  Rng rng(77);
+  int infeasible_seen = 0;
+  for (int iter = 0; iter < 110; ++iter) {
+    const auto sccs = static_cast<std::int32_t>(rng.uniform(2, 64));
+    const bool force_infeasible = rng.chance(1, 8);
+    const BivaluedGraph g = random_multi_scc_bivalued(rng, sccs, force_infeasible);
+    infeasible_seen += force_infeasible;
+
+    McrpOptions options;
+    options.compute_potentials = rng.chance(1, 3);
+
+    McrpFarm farm_seq;
+    McrpResult seq;
+    ASSERT_TRUE(solve_max_cycle_ratio_partitioned(g, options, farm_seq, seq, nullptr));
+
+    SerialExecutor serial;
+    McrpFarm farm_serial;
+    McrpResult via_serial;
+    ASSERT_TRUE(solve_max_cycle_ratio_partitioned(g, options, farm_serial, via_serial, &serial));
+    expect_same_result(seq, via_serial);
+
+    for (const int width : {2, 5}) {
+      ThreadedTestExecutor exec(width);
+      McrpFarm farm_par;
+      McrpResult par;
+      ASSERT_TRUE(solve_max_cycle_ratio_partitioned(g, options, farm_par, par, &exec));
+      expect_same_result(seq, par);
+      if (options.compute_potentials) EXPECT_EQ(seq.potentials, par.potentials);
+    }
+
+    // Whole-graph cross-check: same verdict and value; the co-critical
+    // circuit may legitimately differ, but the partitioned one must
+    // evaluate to exactly the solved ratio (or witness infeasibility).
+    const McrpResult whole = solve_max_cycle_ratio(g, options);
+    ASSERT_EQ(seq.status, whole.status);
+    if (seq.status == McrpStatus::Optimal) {
+      EXPECT_EQ(seq.ratio, whole.ratio);
+      if (!seq.ratio.is_zero()) {
+        ASSERT_FALSE(seq.critical_cycle.empty());
+        const Rational h = g.cycle_time(seq.critical_cycle);
+        ASSERT_FALSE(h.is_zero());
+        EXPECT_EQ(Rational(i128{g.cycle_cost(seq.critical_cycle)}, i128{1}) / h, seq.ratio);
+      }
+    } else if (seq.status == McrpStatus::Infeasible) {
+      ASSERT_FALSE(seq.critical_cycle.empty());
+      const Rational h = g.cycle_time(seq.critical_cycle);
+      const i64 l = g.cycle_cost(seq.critical_cycle);
+      EXPECT_TRUE(h < Rational{0} || (h.is_zero() && l > 0));
+    }
+  }
+  EXPECT_GT(infeasible_seen, 0);  // the sweep exercised the Infeasible path
+}
+
+// Warm reuse across payload-only edits: refreshing L costs on the same
+// layout must keep the partitioned result identical to a cold solve of the
+// edited graph, at any width.
+TEST(ParallelMcrp, WarmPayloadRefreshMatchesCold) {
+  Rng rng(4242);
+  for (int iter = 0; iter < 30; ++iter) {
+    const auto sccs = static_cast<std::int32_t>(rng.uniform(2, 12));
+    BivaluedGraph g = random_multi_scc_bivalued(rng, sccs, false);
+    McrpOptions options;
+    options.howard_warm_start = true;
+
+    ThreadedTestExecutor exec(3);
+    McrpFarm farm;
+    McrpResult first;
+    ASSERT_TRUE(solve_max_cycle_ratio_partitioned(g, options, farm, first, &exec));
+
+    for (std::int32_t a = 0; a < g.arc_count(); ++a) {
+      if (rng.chance(1, 2)) g.set_cost(a, rng.uniform(0, 12));
+    }
+    McrpResult warm;
+    ASSERT_TRUE(solve_max_cycle_ratio_partitioned(g, options, farm, warm, &exec));
+
+    McrpFarm cold_farm;
+    McrpResult cold;
+    ASSERT_TRUE(solve_max_cycle_ratio_partitioned(g, McrpOptions{}, cold_farm, cold, nullptr));
+    ASSERT_EQ(warm.status, cold.status);
+    EXPECT_EQ(warm.ratio, cold.ratio);
+    EXPECT_EQ(warm.critical_cycle, cold.critical_cycle);
+  }
+}
+
+// Cancellation mid-solve: a poll that fires after the first few component
+// checks makes the partitioned solve return false without touching `out`'s
+// validity contract, and the same farm solves fine on the next call.
+TEST(ParallelMcrp, PollAbortsBetweenComponents) {
+  Rng rng(9);
+  const BivaluedGraph g = random_multi_scc_bivalued(rng, 24, false);
+
+  struct Counter {
+    std::atomic<int> calls{0};
+    int fire_after = 0;
+  } counter;
+  counter.fire_after = 3;
+  const auto poll = [](void* p) {
+    auto& c = *static_cast<Counter*>(p);
+    return c.calls.fetch_add(1, std::memory_order_relaxed) >= c.fire_after;
+  };
+
+  McrpFarm farm;
+  McrpResult out;
+  ThreadedTestExecutor exec(2);
+  EXPECT_FALSE(
+      solve_max_cycle_ratio_partitioned(g, McrpOptions{}, farm, out, &exec, +poll, &counter));
+  EXPECT_GE(counter.calls.load(), counter.fire_after);
+
+  // The aborted farm is reusable: the next (unpolled) solve completes and
+  // matches a fresh sequential solve bit for bit.
+  McrpResult good;
+  ASSERT_TRUE(solve_max_cycle_ratio_partitioned(g, McrpOptions{}, farm, good, &exec));
+  McrpFarm fresh;
+  McrpResult reference;
+  ASSERT_TRUE(solve_max_cycle_ratio_partitioned(g, McrpOptions{}, fresh, reference, nullptr));
+  expect_same_result(reference, good);
+}
+
+// Service-level bit-identity: with intra-graph parallelism on, the full
+// KIter Analysis (value, quality, binding-cycle cert, trajectory counters)
+// is identical at service widths 0 (inline), 2 and 5 — and its values
+// match the default whole-graph path.
+TEST(ServiceIntraGraph, BitIdenticalAcrossThreadCounts) {
+  Rng rng(31337);
+  MultiSccCsdfOptions gen;
+  gen.clusters = 5;
+  gen.min_cluster_tasks = 2;
+  gen.max_cluster_tasks = 4;
+
+  std::vector<CsdfGraph> graphs;
+  for (int i = 0; i < 12; ++i) graphs.push_back(random_multi_scc_csdf(rng, gen));
+
+  const auto analyze_all = [&](int threads, int intra) {
+    ServiceOptions so;
+    so.threads = threads;
+    so.intra_graph_threads = intra;
+    ThroughputService service(so);
+    std::vector<Analysis> out;
+    out.reserve(graphs.size());
+    for (const CsdfGraph& g : graphs) out.push_back(service.analyze(g, Method::KIter));
+    return out;
+  };
+
+  const std::vector<Analysis> inline_mode = analyze_all(0, -1);
+  const std::vector<Analysis> two = analyze_all(2, -1);
+  const std::vector<Analysis> five = analyze_all(5, 3);
+  const std::vector<Analysis> off = analyze_all(2, 0);
+
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    for (const std::vector<Analysis>* other : {&two, &five}) {
+      const Analysis& a = inline_mode[i];
+      const Analysis& b = (*other)[i];
+      ASSERT_EQ(a.outcome, b.outcome);
+      EXPECT_EQ(a.quality, b.quality);
+      EXPECT_EQ(a.period, b.period);
+      EXPECT_EQ(a.throughput, b.throughput);
+      EXPECT_EQ(a.detail, b.detail);
+      EXPECT_EQ(a.rounds, b.rounds);
+      EXPECT_EQ(a.mcrp_iterations, b.mcrp_iterations);
+      EXPECT_EQ(a.critical_cycle.coeffs, b.critical_cycle.coeffs);
+      EXPECT_EQ(a.critical_cycle.tasks, b.critical_cycle.tasks);
+      EXPECT_EQ(a.critical_cycle.k, b.critical_cycle.k);
+      EXPECT_EQ(a.critical_cycle.cycle_cost, b.critical_cycle.cycle_cost);
+      EXPECT_EQ(a.critical_cycle.cycle_time, b.critical_cycle.cycle_time);
+      EXPECT_EQ(a.critical_cycle.ratio, b.critical_cycle.ratio);
+    }
+    // The decomposed path may pick a different co-critical circuit than the
+    // whole-graph solver, but the values must agree.
+    ASSERT_EQ(inline_mode[i].outcome, off[i].outcome);
+    EXPECT_EQ(inline_mode[i].period, off[i].period);
+    EXPECT_EQ(inline_mode[i].throughput, off[i].throughput);
+  }
+}
+
+// The pool-backed executor must also serve plain batches concurrently with
+// intra-graph farming without deadlock or result corruption.
+TEST(ServiceIntraGraph, BatchAndIntraShareThePool) {
+  Rng rng(555);
+  MultiSccCsdfOptions gen;
+  gen.clusters = 4;
+  std::vector<AnalysisRequest> requests(8);
+  for (auto& r : requests) r.graph = random_multi_scc_csdf(rng, gen);
+
+  ServiceOptions so;
+  so.threads = 3;
+  so.intra_graph_threads = -1;
+  ThroughputService service(so);
+  const std::vector<Analysis> pooled = service.analyze_batch(requests);
+
+  ServiceOptions ref_so;
+  ref_so.threads = 0;
+  ThroughputService reference(ref_so);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const Analysis expect = reference.analyze(requests[i].graph, Method::KIter);
+    ASSERT_EQ(pooled[i].outcome, expect.outcome);
+    EXPECT_EQ(pooled[i].period, expect.period);
+    EXPECT_EQ(pooled[i].throughput, expect.throughput);
+  }
+}
+
+}  // namespace
+}  // namespace kp
