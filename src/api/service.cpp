@@ -1,9 +1,11 @@
 #include "api/service.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <sstream>
 #include <utility>
 
+#include "core/constraints.hpp"
 #include "core/kperiodic.hpp"
 #include "core/regions.hpp"
 #include "model/transform.hpp"
@@ -44,6 +46,78 @@ double tighten_budget(double budget_ms, double deadline_ms) {
   if (deadline_ms < 0) return budget_ms;
   if (budget_ms < 0) return deadline_ms;
   return std::min(budget_ms, deadline_ms);
+}
+
+/// True when the request's outcome is a pure function of its content: no
+/// wall-clock budget anywhere (deadline, engine time budget), no
+/// cancellation, no caller poll hook, no externally-supplied K seed.
+/// Structural budgets (max_constraint_pairs, max_rounds, max_states,
+/// expansion caps) ARE deterministic and stay cacheable — a Budget outcome
+/// under a structural cap reproduces exactly, so memoizing it is sound.
+bool cacheable_request(Method method, const AnalysisOptions& o, double deadline_ms,
+                       const CancelToken& cancel) {
+  if (deadline_ms >= 0.0 || cancel.cancellable()) return false;
+  switch (method) {
+    case Method::KIter:
+      return o.kiter.poll == nullptr && o.kiter.time_budget_ms < 0 &&
+             o.kiter.initial_k == nullptr;
+    case Method::Periodic:
+      return true;
+    case Method::SymbolicExecution:
+      return o.sim.poll == nullptr && o.sim.time_budget_ms < 0;
+    case Method::Expansion:
+      return true;
+  }
+  return false;
+}
+
+/// Every option that can influence a cacheable request's result, flattened
+/// into key words. Options that only shape wall-clock behavior (poll
+/// strides, time budgets) are excluded — cacheable_request already rejects
+/// requests where they could matter.
+void append_options_words(Method method, const AnalysisOptions& o, std::vector<i64>& w) {
+  w.push_back(static_cast<i64>(method));
+  w.push_back(o.serialize_tasks ? 1 : 0);
+  const auto push_mcrp = [&w](const McrpOptions& m) {
+    w.push_back(m.accelerate_with_double ? 1 : 0);
+    w.push_back(m.howard_warm_start ? 1 : 0);
+    w.push_back(m.compute_potentials ? 1 : 0);
+    w.push_back(m.max_iterations);
+  };
+  switch (method) {
+    case Method::KIter:
+      w.push_back(static_cast<i64>(o.kiter.policy));
+      push_mcrp(o.kiter.mcrp);
+      w.push_back(o.kiter.incremental ? 1 : 0);
+      // i128 structural cap as two words.
+      w.push_back(static_cast<i64>(o.kiter.max_constraint_pairs >> 64));
+      w.push_back(static_cast<i64>(static_cast<u64>(o.kiter.max_constraint_pairs)));
+      w.push_back(o.kiter.max_rounds);
+      w.push_back(o.kiter.record_trace ? 1 : 0);
+      break;
+    case Method::Periodic:
+      push_mcrp(o.kiter.mcrp);
+      break;
+    case Method::SymbolicExecution:
+      w.push_back(o.sim.max_states);
+      w.push_back(o.sim.max_firings_per_instant);
+      break;
+    case Method::Expansion:
+      w.push_back(o.expansion_max_nodes);
+      w.push_back(o.expansion_max_arcs);
+      break;
+  }
+}
+
+/// The content-addressed identity of one request: option words + the exact
+/// graph snapshot (core/constraints.hpp). The digest routes to a cache
+/// stripe; equality is word-for-word.
+void build_request_key(const CsdfGraph& g, Method method, const AnalysisOptions& o,
+                       ContentKey& key) {
+  key.words.clear();
+  append_options_words(method, o, key.words);
+  append_content_snapshot(g, key.words);
+  key.finalize();
 }
 
 /// The caller's own poll hook (if any) chained behind the request's cancel
@@ -308,6 +382,29 @@ struct ThroughputService::SubtaskGroup {
   std::int32_t done = 0;  // guarded by mu
 };
 
+/// Completion rendezvous for one blocking batch dispatch, living on the
+/// dispatcher's stack: workers decrement `remaining` as jobs finish and the
+/// last one notifies. A per-batch countdown instead of the old global
+/// job_done_ broadcast means a 10^5-job batch wakes its dispatcher once,
+/// not 10^5 times.
+struct ThroughputService::BatchSync {
+  std::atomic<std::size_t> remaining{0};
+  std::mutex mu;
+  std::condition_variable cv;
+};
+
+/// One work-queue shard: an independently-locked deque. The owning worker
+/// pops the BACK (LIFO — the freshest job's graph is the one most likely
+/// still warm in cache) unless a front-of-queue subtask marker is waiting;
+/// thieves and markers use the FRONT (steals take the oldest job, markers
+/// preempt). depth_high_water is written under mu, read lock-free by
+/// stats().
+struct ThroughputService::Shard {
+  std::mutex mu;
+  std::deque<std::shared_ptr<Job>> jobs;
+  std::atomic<u64> depth_high_water{0};
+};
+
 /// One enqueued request. Batch jobs reference the caller's span (valid for
 /// the whole blocking analyze_batch call); submitted jobs own theirs;
 /// variant jobs name a (run, delta index) pair instead of carrying a graph;
@@ -323,6 +420,20 @@ struct ThroughputService::Job {
   Stopwatch queued;
   Analysis result;
   std::exception_ptr error;
+
+  // Result-cache identity, computed once at submission time from the
+  // request's exact content (so later mutation of a caller's graph can
+  // never poison the cache).
+  bool cacheable = false;
+  ContentKey key;
+
+  // Completion plumbing: exactly one of these is used. Batch jobs count
+  // down their dispatcher's BatchSync; ticketed (submit/wait) jobs flip
+  // `done` under done_mu_. served_at_dispatch marks a cache hit that never
+  // entered a queue.
+  BatchSync* sync = nullptr;
+  bool ticketed = false;
+  bool served_at_dispatch = false;
   bool done = false;
 
   [[nodiscard]] const AnalysisRequest& req() const { return request ? *request : owned; }
@@ -331,7 +442,8 @@ struct ThroughputService::Job {
   }
 };
 
-ThroughputService::ThroughputService(ServiceOptions options) {
+ThroughputService::ThroughputService(ServiceOptions options)
+    : cache_(options.result_cache_capacity) {
   int n = options.threads;
   if (n < 0) {
     const unsigned hw = std::thread::hardware_concurrency();
@@ -354,6 +466,11 @@ ThroughputService::ThroughputService(ServiceOptions options) {
       w->workspace.intra = &intra_executor_;
     }
   }
+  // Default: one shard per worker, so an uncontended pool never shares a
+  // queue lock. More shards than workers is legal (served by stealing).
+  const int m = options.queue_shards > 0 ? options.queue_shards : std::max(1, n);
+  shards_.reserve(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) shards_.push_back(std::make_unique<Shard>());
   threads_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
     threads_.emplace_back([this, i] { worker_loop(i); });
@@ -361,70 +478,222 @@ ThroughputService::ThroughputService(ServiceOptions options) {
 }
 
 ThroughputService::~ThroughputService() {
-  std::deque<std::shared_ptr<Job>> orphans;
   {
-    std::lock_guard<std::mutex> lk(mu_);
-    stopping_ = true;
-    orphans.swap(queue_);
+    // state_mu_ closes the submit/dispatch race: nobody can check
+    // stopping_ and then enqueue a waitable job after the drain below.
+    std::lock_guard<std::mutex> lk(state_mu_);
+    stopping_.store(true, std::memory_order_relaxed);
   }
-  work_ready_.notify_all();
+  std::vector<std::shared_ptr<Job>> orphans;
+  for (const std::unique_ptr<Shard>& sp : shards_) {
+    std::lock_guard<std::mutex> lk(sp->mu);
+    pending_.fetch_sub(static_cast<i64>(sp->jobs.size()), std::memory_order_relaxed);
+    for (std::shared_ptr<Job>& job : sp->jobs) orphans.push_back(std::move(job));
+    sp->jobs.clear();
+  }
+  wake_workers(true);
   for (std::thread& t : threads_) t.join();
+  // Requests still queued at shutdown complete as Budget so pending wait()
+  // calls (which must finish before destruction returns control to the
+  // caller) observe a well-formed result. Helper markers are invitations,
+  // not requests: the owning worker always finishes its own group, so a
+  // dropped marker needs no result.
+  for (const std::shared_ptr<Job>& job : orphans) {
+    if (job->group != nullptr) continue;
+    job->result.method = job->method();
+    job->result.outcome = Outcome::Budget;
+    job->result.detail = "service shut down before execution";
+    job->result.request_id = job->id;
+    job->result.queue_ms = job->queued.elapsed_ms();
+    complete_job(job);
+  }
+}
+
+ServiceStats ThroughputService::stats() const {
+  ServiceStats s;
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  s.cache_evictions = cache_.evictions();
+  s.cache_size = cache_.size();
+  s.cache_capacity = cache_.capacity();
+  s.steals = steals_.load(std::memory_order_relaxed);
+  s.jobs_executed = executed_.load(std::memory_order_relaxed);
+  s.shard_depth_high_water.reserve(shards_.size());
+  for (const std::unique_ptr<Shard>& sp : shards_) {
+    s.shard_depth_high_water.push_back(sp->depth_high_water.load(std::memory_order_relaxed));
+  }
+  s.queue = queue_hist_.snapshot();
+  s.solve = solve_hist_.snapshot();
+  return s;
+}
+
+void ThroughputService::enqueue(std::shared_ptr<Job> job, std::size_t shard, bool front) {
+  Shard& s = *shards_[shard % shards_.size()];
   {
-    // Requests still queued at shutdown complete as Budget so pending
-    // wait() calls (which must finish before destruction returns control
-    // to the caller) observe a well-formed result.
-    std::lock_guard<std::mutex> lk(mu_);
-    for (const std::shared_ptr<Job>& job : orphans) {
-      // Helper markers are invitations, not requests: the owning worker
-      // always finishes its own group, so a dropped marker needs no result.
-      if (job->group != nullptr) continue;
-      job->result.method = job->method();
-      job->result.outcome = Outcome::Budget;
-      job->result.detail = "service shut down before execution";
-      job->result.request_id = job->id;
-      job->result.queue_ms = job->queued.elapsed_ms();
-      job->done = true;
+    std::lock_guard<std::mutex> lk(s.mu);
+    if (front) {
+      s.jobs.push_front(std::move(job));
+    } else {
+      s.jobs.push_back(std::move(job));
+    }
+    const u64 depth = s.jobs.size();
+    if (depth > s.depth_high_water.load(std::memory_order_relaxed)) {
+      s.depth_high_water.store(depth, std::memory_order_relaxed);
     }
   }
-  job_done_.notify_all();
+  pending_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ThroughputService::wake_workers(bool all) {
+  // The empty critical section is load-bearing: a worker that observed
+  // pending_ == 0 holds wake_mu_ from that check until its wait() parks it,
+  // so locking here forces "increment pending_, THEN notify" to happen
+  // either entirely before the worker's check (it sees the job, never
+  // sleeps) or entirely after it parked (the notify lands). Without it the
+  // notify could fire in the gap and be lost.
+  { std::lock_guard<std::mutex> lk(wake_mu_); }
+  if (all) {
+    work_ready_.notify_all();
+  } else {
+    work_ready_.notify_one();
+  }
+}
+
+std::shared_ptr<ThroughputService::Job> ThroughputService::take_job(std::size_t own_shard) {
+  const std::size_t m = shards_.size();
+  {
+    Shard& s = *shards_[own_shard];
+    std::lock_guard<std::mutex> lk(s.mu);
+    if (!s.jobs.empty()) {
+      std::shared_ptr<Job> job;
+      if (s.jobs.front()->group != nullptr) {
+        // A subtask marker waits at the front: nested work inside a job
+        // some worker already owns beats starting anything new.
+        job = std::move(s.jobs.front());
+        s.jobs.pop_front();
+      } else {
+        job = std::move(s.jobs.back());  // LIFO: freshest first
+        s.jobs.pop_back();
+      }
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      return job;
+    }
+  }
+  // Own shard dry: steal the OLDEST entry of another shard (FIFO keeps a
+  // steal from fighting the owner over its freshest work, and drains
+  // markers first since markers live at the front).
+  for (std::size_t i = 1; i < m; ++i) {
+    Shard& s = *shards_[(own_shard + i) % m];
+    std::lock_guard<std::mutex> lk(s.mu);
+    if (s.jobs.empty()) continue;
+    std::shared_ptr<Job> job = std::move(s.jobs.front());
+    s.jobs.pop_front();
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    steals_.fetch_add(1, std::memory_order_relaxed);
+    return job;
+  }
+  return nullptr;
 }
 
 void ThroughputService::worker_loop(int worker_id) {
+  const std::size_t own = static_cast<std::size_t>(worker_id) % shards_.size();
   for (;;) {
-    std::shared_ptr<Job> job;
-    {
-      std::unique_lock<std::mutex> lk(mu_);
-      work_ready_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping, nothing left to serve
-      job = std::move(queue_.front());
-      queue_.pop_front();
+    std::shared_ptr<Job> job = take_job(own);
+    if (job == nullptr) {
+      if (stopping_.load(std::memory_order_relaxed)) return;
+      std::unique_lock<std::mutex> lk(wake_mu_);
+      work_ready_.wait(lk, [&] {
+        return stopping_.load(std::memory_order_relaxed) ||
+               pending_.load(std::memory_order_relaxed) > 0;
+      });
+      continue;
     }
     if (job->group != nullptr) {
       // Helper marker: join the nested group until its counter is
-      // exhausted, then go back to the queue. No done/job_done_
-      // bookkeeping — nobody waits on the marker itself.
+      // exhausted, then go back to the queue. No completion bookkeeping —
+      // nobody waits on the marker itself.
       help(*job->group);
       continue;
     }
     run_job(*job, worker_id);
+    complete_job(job);
+  }
+}
+
+void ThroughputService::complete_job(const std::shared_ptr<Job>& job) {
+  if (job->ticketed) {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      std::lock_guard<std::mutex> lk(done_mu_);
       job->done = true;
     }
     job_done_.notify_all();
   }
+  if (BatchSync* sync = job->sync) {
+    if (sync->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lk(sync->mu);
+      sync->cv.notify_all();
+    }
+  }
+}
+
+void ThroughputService::prepare_cache_key(Job& job) const {
+  if (!cache_.enabled() || job.variant != nullptr) return;
+  const AnalysisRequest& req = job.req();
+  if (!cacheable_request(req.method, req.options, req.deadline_ms, req.cancel)) return;
+  build_request_key(req.graph, req.method, req.options, job.key);
+  job.cacheable = true;
+}
+
+bool ThroughputService::try_dispatch_hit(Job& job) {
+  if (!job.cacheable) return false;
+  std::optional<Analysis> hit = cache_.find(job.key);
+  if (!hit) return false;
+  cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  job.result = std::move(*hit);
+  job.result.request_id = job.id;
+  job.result.queue_ms = 0.0;  // never queued; worker_id stays the solver's
+  job.served_at_dispatch = true;
+  return true;
 }
 
 void ThroughputService::run_job(Job& job, int worker_id) {
   const double queue_ms = job.queued.elapsed_ms();
+  queue_hist_.record_ms(queue_ms);
   try {
     Worker& worker = *workers_[static_cast<std::size_t>(worker_id)];
     if (job.variant != nullptr) {
       job.result = run_variant(*job.variant, job.variant_index, worker);
+      solve_hist_.record_ms(job.result.elapsed_ms);
+      executed_.fetch_add(1, std::memory_order_relaxed);
     } else {
-      const AnalysisRequest& req = job.req();
-      job.result = execute_request(req.graph, req.method, req.options, req.deadline_ms,
-                                   req.cancel, worker.workspace);
+      bool served = false;
+      if (job.cacheable) {
+        // Late hit: an identical request completed (or was already cached)
+        // while this one sat in a queue. This is where duplicate-heavy
+        // batches win — the first copy solves, every sibling replays.
+        if (std::optional<Analysis> hit = cache_.find(job.key)) {
+          cache_hits_.fetch_add(1, std::memory_order_relaxed);
+          job.result = std::move(*hit);
+          served = true;
+        }
+      }
+      if (!served) {
+        const AnalysisRequest& req = job.req();
+        job.result = execute_request(req.graph, req.method, req.options, req.deadline_ms,
+                                     req.cancel, worker.workspace);
+        solve_hist_.record_ms(job.result.elapsed_ms);
+        executed_.fetch_add(1, std::memory_order_relaxed);
+        if (job.cacheable) {
+          // Cacheable implies deterministic, so every outcome — Value,
+          // Deadlock, Unbounded, structural Budget — is worth memoizing.
+          cache_misses_.fetch_add(1, std::memory_order_relaxed);
+          Analysis stored = job.result;
+          stored.request_id = -1;
+          stored.queue_ms = 0.0;
+          stored.worker_id = worker_id;
+          cache_.insert(job.key, std::move(stored));
+        }
+      }
     }
   } catch (...) {
     job.error = std::current_exception();
@@ -467,23 +736,25 @@ void ThroughputService::run_subtasks(std::int32_t n, void (*fn)(void*, std::int3
   group->fn = fn;
   group->ctx = ctx;
   group->n = n;
-  bool published = false;
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    if (!stopping_) {
-      // Markers go to the FRONT: nested work is the inside of a job some
-      // worker already owns, so finishing it beats starting fresh jobs —
-      // and a helper that pops one returns to the queue as soon as the
-      // counter runs dry, so batch jobs are delayed, never starved.
-      for (int i = 0; i < helpers; ++i) {
-        auto marker = std::make_shared<Job>();
-        marker->group = group;
-        queue_.push_front(std::move(marker));
-      }
-      published = true;
+  if (!stopping_.load(std::memory_order_relaxed)) {
+    // Markers go to the FRONT of consecutive shards: nested work is the
+    // inside of a job some worker already owns, so finishing it beats
+    // starting fresh jobs — and a helper that pops one returns to the
+    // queue as soon as the counter runs dry, so batch jobs are delayed,
+    // never starved. A marker stranded by a concurrent shutdown is
+    // harmless: the owner below never depends on helpers, and exiting
+    // workers drain leftovers before parking.
+    const std::size_t m = shards_.size();
+    const u64 base =
+        next_shard_rr_.fetch_add(static_cast<u64>(helpers), std::memory_order_relaxed);
+    for (int i = 0; i < helpers; ++i) {
+      auto marker = std::make_shared<Job>();
+      marker->group = group;
+      enqueue(std::move(marker), static_cast<std::size_t>((base + static_cast<u64>(i)) % m),
+              /*front=*/true);
     }
+    wake_workers(true);
   }
-  if (published) work_ready_.notify_all();
   // The owner claims like any helper; by the time help() returns every
   // index has been claimed, so the wait below is only for helpers still
   // finishing their last claimed index (usually zero wait).
@@ -630,19 +901,37 @@ std::vector<Analysis> ThroughputService::dispatch_and_wait(
     std::lock_guard<std::mutex> wk(caller.in_use);
     for (const std::shared_ptr<Job>& job : jobs) {
       run_job(*job, static_cast<int>(workers_.size()) - 1);
-      job->done = true;
     }
   } else {
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      if (stopping_) throw SolverError(std::string("ThroughputService: ") + what +
-                                       " after shutdown");
-      for (const std::shared_ptr<Job>& job : jobs) queue_.push_back(job);
-    }
-    work_ready_.notify_all();
-    std::unique_lock<std::mutex> lk(mu_);
+    // Dispatch-time cache pass: hits bypass the queues entirely, so a
+    // fully-warm batch costs one striped lookup per request and never
+    // wakes a worker.
+    BatchSync sync;
+    std::size_t to_run = 0;
     for (const std::shared_ptr<Job>& job : jobs) {
-      job_done_.wait(lk, [&] { return job->done; });
+      if (!try_dispatch_hit(*job)) ++to_run;
+    }
+    if (to_run > 0) {
+      sync.remaining.store(to_run, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lk(state_mu_);
+        if (stopping_.load(std::memory_order_relaxed)) {
+          throw SolverError(std::string("ThroughputService: ") + what + " after shutdown");
+        }
+        // Deal misses round-robin across the shards so every worker's local
+        // queue gets a contiguous slice to chew through LIFO.
+        u64 rr = next_shard_rr_.fetch_add(to_run, std::memory_order_relaxed);
+        for (const std::shared_ptr<Job>& job : jobs) {
+          if (job->served_at_dispatch) continue;
+          job->sync = &sync;
+          enqueue(job, static_cast<std::size_t>(rr++ % shards_.size()), /*front=*/false);
+        }
+      }
+      wake_workers(true);
+      std::unique_lock<std::mutex> lk(sync.mu);
+      sync.cv.wait(lk, [&] {
+        return sync.remaining.load(std::memory_order_acquire) == 0;
+      });
     }
   }
 
@@ -662,6 +951,7 @@ std::vector<Analysis> ThroughputService::analyze_batch(std::span<const AnalysisR
     auto job = std::make_shared<Job>();
     job->request = &requests[i];
     job->id = static_cast<i64>(i);
+    prepare_cache_key(*job);
     jobs.push_back(std::move(job));
   }
   return dispatch_and_wait(jobs, "analyze_batch");
@@ -690,7 +980,7 @@ std::vector<Analysis> ThroughputService::analyze_variants(const VariantBatch& ba
     run.prepared = &batch.base;
   }
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::lock_guard<std::mutex> lk(state_mu_);
     run.gen = ++next_variant_gen_;
   }
 
@@ -736,26 +1026,43 @@ ScenarioAnalysis ThroughputService::analyze_scenario(const ScenarioRequest& requ
 i64 ThroughputService::submit(AnalysisRequest request) {
   auto job = std::make_shared<Job>();
   job->owned = std::move(request);
+  job->ticketed = true;
+  // The content key is snapshotted HERE, from the graph the service owns —
+  // the caller mutating its (already moved-from) graph afterwards cannot
+  // poison the cache.
+  prepare_cache_key(*job);
+  const bool hit = try_dispatch_hit(*job);
   i64 id;
   {
-    std::lock_guard<std::mutex> lk(mu_);
-    if (stopping_) throw SolverError("ThroughputService: submit after shutdown");
+    std::lock_guard<std::mutex> lk(state_mu_);
+    if (stopping_.load(std::memory_order_relaxed)) {
+      throw SolverError("ThroughputService: submit after shutdown");
+    }
     id = next_ticket_++;
     job->id = id;
     tickets_.emplace(id, job);
-    if (!inline_mode()) queue_.push_back(job);
+    if (!hit && !inline_mode()) {
+      // Content-hash placement: identical requests land on the same shard,
+      // unrelated ones spread; uncacheable requests round-robin.
+      const std::size_t shard =
+          job->cacheable
+              ? static_cast<std::size_t>(job->key.digest) % shards_.size()
+              : static_cast<std::size_t>(
+                    next_shard_rr_.fetch_add(1, std::memory_order_relaxed)) %
+                    shards_.size();
+      enqueue(job, shard, /*front=*/false);
+    }
   }
-  if (inline_mode()) {
+  if (hit) {
+    job->result.request_id = id;  // the hit was stamped before the id existed
+    complete_job(job);
+  } else if (inline_mode()) {
     Worker& caller = *workers_.back();
     std::lock_guard<std::mutex> wk(caller.in_use);
     run_job(*job, static_cast<int>(workers_.size()) - 1);
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      job->done = true;
-    }
-    job_done_.notify_all();  // another thread may already sit in wait()
+    complete_job(job);
   } else {
-    work_ready_.notify_one();
+    wake_workers(false);
   }
   return id;
 }
@@ -763,13 +1070,16 @@ i64 ThroughputService::submit(AnalysisRequest request) {
 Analysis ThroughputService::wait(i64 ticket) {
   std::shared_ptr<Job> job;
   {
-    std::unique_lock<std::mutex> lk(mu_);
+    std::lock_guard<std::mutex> lk(state_mu_);
     const auto it = tickets_.find(ticket);
     if (it == tickets_.end()) {
       throw SolverError("ThroughputService::wait: unknown or already-collected ticket");
     }
     job = it->second;
     tickets_.erase(it);
+  }
+  {
+    std::unique_lock<std::mutex> lk(done_mu_);
     job_done_.wait(lk, [&] { return job->done; });
   }
   if (job->error) std::rethrow_exception(job->error);
@@ -779,10 +1089,27 @@ Analysis ThroughputService::wait(i64 ticket) {
 Analysis ThroughputService::analyze(const CsdfGraph& g, Method method,
                                     const AnalysisOptions& options, double deadline_ms,
                                     const CancelToken& cancel) {
+  const int caller_id = static_cast<int>(workers_.size()) - 1;
+  ContentKey key;
+  const bool cacheable =
+      cache_.enabled() && cacheable_request(method, options, deadline_ms, cancel);
+  if (cacheable) {
+    build_request_key(g, method, options, key);
+    if (std::optional<Analysis> hit = cache_.find(key)) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return std::move(*hit);
+    }
+  }
   Worker& caller = *workers_.back();
   std::lock_guard<std::mutex> wk(caller.in_use);
   Analysis a = execute_request(g, method, options, deadline_ms, cancel, caller.workspace);
-  a.worker_id = static_cast<int>(workers_.size()) - 1;
+  a.worker_id = caller_id;
+  solve_hist_.record_ms(a.elapsed_ms);
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  if (cacheable) {
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    cache_.insert(key, a);
+  }
   return a;
 }
 

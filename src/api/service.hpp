@@ -1,24 +1,66 @@
 // ThroughputService: batch, multi-threaded throughput analysis with
-// deadlines, cancellation, and per-worker workspace reuse.
+// deadlines, cancellation, per-worker workspace reuse, a content-addressed
+// result cache, and sharded work-stealing request queues.
 //
 // Design-space exploration workloads (buffer-sizing sweeps, multi-scenario
-// analyses) evaluate thousands of graph variants per run. The service keeps
-// a fixed pool of workers, each owning one long-lived KIterWorkspace reused
-// across every analysis it serves — so the zero-allocation warm-round
-// contract of core/kiter.hpp pays off across requests, not just within one.
+// analyses) evaluate thousands of graph variants per run; a serving
+// deployment additionally sees the SAME graphs resubmitted over and over
+// (millions of users exploring overlapping design points). The service
+// keeps a fixed pool of workers, each owning one long-lived KIterWorkspace
+// reused across every analysis it serves — so the zero-allocation
+// warm-round contract of core/kiter.hpp pays off across requests, not just
+// within one — and, in front of the pool, a bounded content-addressed
+// memo of completed analyses keyed by the request's exact content.
 //
 // Three ways in:
 //   * analyze_batch(requests) — run them all over the pool; results come
 //     back in request order and are bit-identical regardless of the thread
-//     count (each analysis is independent and deterministic; only the
-//     timing/worker metadata varies between runs). Caveat: that guarantee
-//     holds for requests without wall-clock limits — a deadline_ms or a
-//     time_budget_ms races real time, so its budget-limited rows can flip
-//     under worker contention; structural budgets (max_constraint_pairs,
-//     max_states) stay deterministic at any thread count;
+//     count, the shard layout, and whether the result cache is on (a hit
+//     replays a value a deterministic solve produced; each analysis is
+//     independent and deterministic; only the timing/worker metadata varies
+//     between runs). Caveat: that guarantee holds for requests without
+//     wall-clock limits — a deadline_ms or a time_budget_ms races real
+//     time, so its budget-limited rows can flip under worker contention;
+//     structural budgets (max_constraint_pairs, max_states) stay
+//     deterministic at any thread count;
 //   * submit(request) / wait(id) — async: enqueue now, collect later;
 //   * analyze(graph, method, ...) — serve one request inline on the
 //     calling thread (what analyze_throughput uses).
+//
+// Result cache (ServiceOptions::result_cache_capacity): the key is the
+// request's EXACT content — the graph snapshot of
+// core/constraints.hpp::append_content_snapshot (per-task phase counts and
+// durations, per-buffer endpoints/marking/rates) plus the method and every
+// option that can influence the result. No hashing is involved in
+// identity: the key's digest only routes to a lock stripe
+// (util/lru_cache.hpp), equality compares the flattened words exactly, so
+// a cache hit is guaranteed bit-identical — outcome, period, throughput,
+// detail string, critical_cycle cert — to re-running the solve. A hit
+// found at dispatch bypasses the queue entirely; a duplicate that was
+// already queued when its twin completed is served by a second lookup on
+// the worker (a "late hit" — the solve is skipped, which is where the
+// money is). Requests that race wall-clock or carry cancellation hooks
+// (deadline_ms >= 0, a cancellable token, a poll hook, a time budget) are
+// NEVER cached — their outcome is not a pure function of content — and
+// variant-batch/scenario analyses keep using the cross-variant constraint
+// cache instead. Entries are bounded by per-stripe LRU eviction.
+//
+// Request queues are sharded (ServiceOptions::queue_shards, default one
+// per worker): each worker owns a local deque and pops it LIFO (newest
+// first — the producer just touched that memory), batch dispatch deals
+// jobs round-robin and submit() routes by content hash, and a worker whose
+// shard runs dry STEALS the oldest job of another shard (FIFO steal), so
+// one slow Deadlock-bound request serializes nothing but itself. The
+// intra-graph subtask markers of ServiceOptions::intra_graph_threads ride
+// the same shards at front-of-queue priority: idle workers steal markers
+// like any other job, and the owner still claims every index itself, so
+// completion never depends on a helper arriving (deadlock-free even with
+// one worker and many shards).
+//
+// Every moving part is observable: stats() snapshots cache hit/miss/
+// eviction counters, steal counts, per-shard queue-depth high-water marks
+// and queue/solve latency histograms (p50/p99) from relaxed atomics — no
+// lock, no pool stall (ServiceStats).
 //
 // Deadlines and cancellation are cooperative. A request's deadline_ms and
 // CancelToken are threaded into the K-Iter round loop as its poll hook, so
@@ -38,6 +80,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstddef>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -50,6 +93,9 @@
 #include "core/kperiodic.hpp"
 #include "model/transform.hpp"
 #include "scenario/scenario.hpp"
+#include "util/hash.hpp"
+#include "util/histogram.hpp"
+#include "util/lru_cache.hpp"
 #include "util/parallel.hpp"
 
 namespace kp {
@@ -92,10 +138,12 @@ struct AnalysisRequest {
 
   /// Wall-clock budget for this request, measured from execution start on a
   /// worker; < 0 disables. Tightens (never loosens) the per-engine budgets
-  /// already in `options`.
+  /// already in `options`. Setting any deadline also makes the request
+  /// uncacheable (its outcome races real time).
   double deadline_ms = -1.0;
 
   /// Cooperative cancel (see the header comment for per-method granularity).
+  /// A cancellable token makes the request uncacheable.
   CancelToken cancel{};
 };
 
@@ -120,6 +168,55 @@ struct ServiceOptions {
   /// co-critical circuit may differ from the whole-graph solver's — which
   /// is why this is opt-in rather than always-on.
   int intra_graph_threads = 0;
+
+  /// Work-queue shards. Each worker owns shard (worker_id mod shards),
+  /// pops its own shard LIFO (front-of-queue subtask markers first), and
+  /// steals the OLDEST job of another shard when its own runs dry. <= 0 =
+  /// one shard per worker, the default; more shards than workers is legal
+  /// (the extra shards are served purely by stealing — useful for tests
+  /// and for keeping submit()'s content-hash placement stable while the
+  /// pool is resized).
+  int queue_shards = 0;
+
+  /// Entries the content-addressed result cache may hold; 0 disables
+  /// caching entirely. The cache memoizes completed analyses of
+  /// wall-clock-free requests by exact content (see the header comment) —
+  /// a resubmitted graph costs one striped-LRU lookup instead of a solve.
+  /// Bounded by per-stripe LRU eviction, so memory never grows with
+  /// traffic.
+  std::size_t result_cache_capacity = 4096;
+};
+
+/// A point-in-time snapshot of the service's serving-path counters,
+/// readable at any moment without stopping the pool (stats() reads relaxed
+/// atomics only; numbers lag in-flight work by at most one increment).
+struct ServiceStats {
+  // Content-addressed result cache. hits counts dispatch bypasses AND
+  // late hits on a worker; hits + misses = cacheable requests completed.
+  // Uncacheable requests (deadlines, cancel tokens, poll hooks, variant
+  // batches) touch none of these.
+  u64 cache_hits = 0;
+  u64 cache_misses = 0;
+  u64 cache_evictions = 0;
+  u64 cache_size = 0;          ///< live entries
+  std::size_t cache_capacity = 0;  ///< 0 = cache disabled
+
+  // Sharded-queue activity.
+  u64 steals = 0;         ///< jobs (or subtask markers) taken from a foreign shard
+  u64 jobs_executed = 0;  ///< analyses actually solved (cache hits excluded)
+  std::vector<u64> shard_depth_high_water;  ///< max queued jobs ever, per shard
+
+  // Latency distributions (util/histogram.hpp): queue = enqueue-to-claim
+  // wait of every job a worker dequeued; solve = execution time of every
+  // analysis actually solved. Percentiles via e.g. queue.percentile_ms(.99).
+  LatencyHistogram::Snapshot queue;
+  LatencyHistogram::Snapshot solve;
+
+  /// hits / (hits + misses); 0 when no cacheable request completed yet.
+  [[nodiscard]] double hit_rate() const noexcept {
+    const u64 total = cache_hits + cache_misses;
+    return total == 0 ? 0.0 : static_cast<double>(cache_hits) / static_cast<double>(total);
+  }
 };
 
 /// A parametric DSE batch: one base graph plus one GraphDelta per variant
@@ -220,10 +317,18 @@ class ThroughputService {
   }
   /// True when no worker threads exist and requests run on the caller.
   [[nodiscard]] bool inline_mode() const { return threads_.empty(); }
+  /// Resolved work-queue shard count (>= 1).
+  [[nodiscard]] int shard_count() const { return static_cast<int>(shards_.size()); }
+
+  /// Snapshot of the serving-path counters (see ServiceStats). Never
+  /// blocks the pool: relaxed atomic reads only. Counters accumulate over
+  /// the service's lifetime.
+  [[nodiscard]] ServiceStats stats() const;
 
   /// Analyzes every request over the pool. results[i] answers requests[i]
   /// with request_id == i; the value fields (outcome/quality/period/
-  /// throughput/k-detail) are deterministic regardless of worker_count().
+  /// throughput/k-detail) are deterministic regardless of worker_count()
+  /// and of the result cache being on or off.
   [[nodiscard]] std::vector<Analysis> analyze_batch(std::span<const AnalysisRequest> requests);
 
   /// Analyzes every variant of `batch.base` over the pool: results[i]
@@ -245,8 +350,11 @@ class ThroughputService {
   [[nodiscard]] ScenarioAnalysis analyze_scenario(const ScenarioRequest& request);
 
   /// Async path: enqueue one request (the graph is moved in), returns the
-  /// ticket to pass to wait(). In inline mode the request is served
-  /// synchronously before submit() returns.
+  /// ticket to pass to wait(). The request's content is snapshotted into
+  /// the job before submit() returns, so mutating the caller's graph
+  /// afterwards can neither change the analysis nor poison the result
+  /// cache. A cache hit completes the ticket before submit() returns; in
+  /// inline mode every request is served synchronously.
   i64 submit(AnalysisRequest request);
 
   /// Blocks until the submitted request finishes, returns its Analysis and
@@ -257,7 +365,8 @@ class ThroughputService {
   [[nodiscard]] Analysis wait(i64 ticket);
 
   /// Serves one request inline on the calling thread (no graph copy),
-  /// through worker 0's workspace.
+  /// through worker 0's workspace. Rides the result cache like any other
+  /// request.
   [[nodiscard]] Analysis analyze(const CsdfGraph& g, Method method,
                                  const AnalysisOptions& options = {}, double deadline_ms = -1.0,
                                  const CancelToken& cancel = {});
@@ -266,6 +375,8 @@ class ThroughputService {
   struct Job;
   struct VariantRun;
   struct SubtaskGroup;
+  struct BatchSync;
+  struct Shard;
 
   /// The pool-backed ParallelExecutor installed on every worker workspace
   /// when intra_graph_threads is enabled. run_indexed publishes helper
@@ -304,6 +415,12 @@ class ThroughputService {
   void run_job(Job& job, int worker_id);
   void run_subtasks(std::int32_t n, void (*fn)(void*, std::int32_t), void* ctx);
   static void help(SubtaskGroup& group);
+  void prepare_cache_key(Job& job) const;
+  [[nodiscard]] bool try_dispatch_hit(Job& job);
+  void complete_job(const std::shared_ptr<Job>& job);
+  void enqueue(std::shared_ptr<Job> job, std::size_t shard, bool front);
+  void wake_workers(bool all);
+  [[nodiscard]] std::shared_ptr<Job> take_job(std::size_t own_shard);
   Analysis run_variant(const VariantRun& run, std::size_t index, Worker& worker);
   [[nodiscard]] std::vector<Analysis> run_symbolic_variants(const VariantRun& run,
                                                             const ExecTimeRay& ray);
@@ -315,14 +432,33 @@ class ThroughputService {
   IntraExecutor intra_executor_{this};
   int intra_limit_ = 0;  ///< resolved workers-per-solve cap; 0 = off
 
-  std::mutex mu_;
+  // Sharded queues + sleep/wake protocol: shard deques are individually
+  // locked; pending_ counts queued entries across all shards so an idle
+  // worker knows whether a steal scan is worth it; wake_mu_ exists only to
+  // close the check-then-sleep race (see wake_workers).
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<i64> pending_{0};
+  std::mutex wake_mu_;
   std::condition_variable work_ready_;
+
+  // Ticket completion (submit/wait) and service state.
+  std::mutex done_mu_;
   std::condition_variable job_done_;
-  std::deque<std::shared_ptr<Job>> queue_;
+  std::mutex state_mu_;  ///< tickets, generation counters, stopping handshake
   std::unordered_map<i64, std::shared_ptr<Job>> tickets_;
   i64 next_ticket_ = 0;
   u64 next_variant_gen_ = 0;
-  bool stopping_ = false;
+  std::atomic<bool> stopping_{false};
+  std::atomic<u64> next_shard_rr_{0};
+
+  // Serving-path observability + the result cache (see ServiceStats).
+  StripedLruCache<Analysis> cache_;
+  std::atomic<u64> cache_hits_{0};
+  std::atomic<u64> cache_misses_{0};
+  std::atomic<u64> steals_{0};
+  std::atomic<u64> executed_{0};
+  LatencyHistogram queue_hist_;
+  LatencyHistogram solve_hist_;
 };
 
 }  // namespace kp

@@ -341,6 +341,27 @@ i128 buffer_stride_work(const Buffer& b, i64 kt, i64 kt2) {
 
 }  // namespace
 
+void append_content_snapshot(const CsdfGraph& g, std::vector<i64>& words) {
+  // The exact field set snapshot_model fingerprints, flattened into one
+  // sequence. Counts are included so two graphs of different shape can
+  // never alias (the per-section lengths are content-derived otherwise).
+  words.push_back(g.task_count());
+  for (const Task& t : g.tasks()) words.push_back(t.phases());
+  for (const Task& t : g.tasks()) {
+    words.insert(words.end(), t.durations.begin(), t.durations.end());
+  }
+  words.push_back(g.buffer_count());
+  for (const Buffer& b : g.buffers()) {
+    words.push_back(b.src);
+    words.push_back(b.dst);
+    words.push_back(b.initial_tokens);
+  }
+  for (const Buffer& b : g.buffers()) {
+    words.insert(words.end(), b.prod.begin(), b.prod.end());
+    words.insert(words.end(), b.cons.begin(), b.cons.end());
+  }
+}
+
 std::vector<TaskId> ConstraintGraph::tasks_on_circuit(
     const std::vector<std::int32_t>& arc_ids) const {
   std::vector<std::int8_t> seen;

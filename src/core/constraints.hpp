@@ -176,6 +176,19 @@ struct ConstraintGraphCache {
   void invalidate() noexcept { valid = false; }
 };
 
+/// Appends the exact content snapshot of `g` — the same fields the
+/// ConstraintGraphCache fingerprints: task count and per-task phase counts,
+/// every phase duration in task order, buffer count and per-buffer
+/// (src, dst, M0), every rate vector in buffer order (prod then cons) — as
+/// flat 64-bit words onto `words`. Two graphs append identical words iff
+/// they are content-identical for every analysis method (names excluded:
+/// they never influence a result's values, only rendered descriptions are
+/// built from ids resolved against the caller's own graph). This is the
+/// graph part of a util/hash.hpp ContentKey: exact values, not hashes, so
+/// a key match is a guarantee — the service's content-addressed result
+/// cache hashes the words only to pick a lock stripe.
+void append_content_snapshot(const CsdfGraph& g, std::vector<i64>& words);
+
 /// Builds the constraint graph for periodicity vector `k` (one entry per
 /// task, each >= 1). `rv` must be the repetition vector of `g` (consistent).
 [[nodiscard]] ConstraintGraph build_constraint_graph(const CsdfGraph& g,

@@ -1,9 +1,11 @@
-// Hash helpers for state-space exploration (sim/) and memo tables.
+// Hash helpers for state-space exploration (sim/), memo tables, and the
+// content-addressed result cache (util/lru_cache.hpp).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <vector>
 
 namespace kp {
 
@@ -20,5 +22,25 @@ inline void hash_combine(std::uint64_t& seed, std::uint64_t v) noexcept {
   for (const auto w : words) hash_combine(h, static_cast<std::uint64_t>(w));
   return h;
 }
+
+/// An exact, hashable content key: a flat sequence of 64-bit words plus a
+/// precomputed digest of them. The digest only ROUTES — to a hash bucket or
+/// a lock stripe — and is never trusted for identity: equality compares the
+/// words exactly, so a digest collision can cost a probe, never return the
+/// wrong entry. This is what makes content-addressed memoization safe to
+/// put in front of an exact solver (the same discipline as the
+/// ConstraintGraphCache snapshot in core/constraints.hpp, which keys on
+/// values, not hashes).
+struct ContentKey {
+  std::vector<std::int64_t> words;
+  std::uint64_t digest = 0;
+
+  /// Recomputes the digest after `words` is (re)filled.
+  void finalize() noexcept { digest = hash_span(words); }
+
+  friend bool operator==(const ContentKey& a, const ContentKey& b) noexcept {
+    return a.digest == b.digest && a.words == b.words;
+  }
+};
 
 }  // namespace kp

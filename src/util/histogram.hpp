@@ -1,0 +1,87 @@
+// Log-bucketed latency histogram, snapshot-readable while hot.
+//
+// record_ms is one relaxed atomic increment (bucket = bit width of the
+// latency in microseconds), so workers can stamp every request without a
+// lock and ThroughputService::stats() can read a consistent-enough snapshot
+// without stopping the pool. Buckets are powers of two over microseconds:
+// bucket 0 holds < 1 us, bucket i holds [2^(i-1), 2^i) us — 48 buckets
+// cover nanoseconds to ~8.9 years, far past any request this service
+// serves. Percentiles are answered from a Snapshot: the reported value is
+// the upper bound of the bucket where the cumulative count crosses the
+// rank, i.e. a <= 2x overestimate — the right bias for latency SLOs (never
+// under-reports a percentile).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+
+namespace kp {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 48;
+
+  void record_ms(double ms) noexcept {
+    buckets_[bucket_of(ms)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// A point-in-time copy of the bucket counts. Counts recorded while the
+  /// copy is in progress may or may not be included (each bucket is read
+  /// atomically); totals are therefore approximate only while the pool is
+  /// actively recording, exact once it is idle.
+  struct Snapshot {
+    std::array<std::uint64_t, kBuckets> counts{};
+
+    [[nodiscard]] std::uint64_t total() const noexcept {
+      std::uint64_t t = 0;
+      for (const std::uint64_t c : counts) t += c;
+      return t;
+    }
+
+    /// Upper-bound latency (ms) at quantile q in [0, 1]; 0 when empty.
+    [[nodiscard]] double percentile_ms(double q) const noexcept {
+      const std::uint64_t n = total();
+      if (n == 0) return 0.0;
+      if (q < 0.0) q = 0.0;
+      if (q > 1.0) q = 1.0;
+      // rank in 1..n: the smallest bucket whose cumulative count reaches it.
+      const std::uint64_t rank = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n)));
+      std::uint64_t cum = 0;
+      for (int i = 0; i < kBuckets; ++i) {
+        cum += counts[i];
+        if (cum >= rank && cum > 0) return bucket_upper_us(i) / 1000.0;
+      }
+      return bucket_upper_us(kBuckets - 1) / 1000.0;
+    }
+  };
+
+  [[nodiscard]] Snapshot snapshot() const noexcept {
+    Snapshot s;
+    for (int i = 0; i < kBuckets; ++i) s.counts[static_cast<std::size_t>(i)] =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    return s;
+  }
+
+  /// Bucket index for a latency in milliseconds (exposed for tests).
+  [[nodiscard]] static int bucket_of(double ms) noexcept {
+    if (!(ms > 0.0)) return 0;
+    const double us = ms * 1000.0;
+    if (us < 1.0) return 0;
+    const auto u = static_cast<std::uint64_t>(us);
+    int w = 0;
+    for (std::uint64_t v = u; v != 0; v >>= 1) ++w;  // bit width of u (>= 1)
+    return w < kBuckets ? w : kBuckets - 1;
+  }
+
+  /// Upper bound (exclusive, in us) of bucket i: 1, 2, 4, ... (tests/json).
+  [[nodiscard]] static double bucket_upper_us(int i) noexcept {
+    return std::ldexp(1.0, i);  // 2^i
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+}  // namespace kp

@@ -1,0 +1,142 @@
+// Lock-striped, bounded LRU map keyed by exact content (util/hash.hpp
+// ContentKey) — the store behind ThroughputService's content-addressed
+// result cache.
+//
+// Concurrency model: the key's digest selects a stripe; each stripe is an
+// independently-locked LRU list with its own slice of the capacity, so
+// concurrent lookups of unrelated keys never contend. Within a stripe,
+// identity is decided by exact word-for-word key comparison — the digest
+// only routes, so a hash collision degrades to an extra compare and can
+// never serve a wrong value. Eviction is per-stripe LRU with a hard
+// per-stripe cap (ceil(capacity / stripes)), which bounds total entries at
+// stripes * ceil(capacity / stripes) — the cache can never grow unbounded
+// no matter the traffic mix.
+//
+// Counters (size, evictions) are relaxed atomics so an observability
+// snapshot (ThroughputService::stats) never takes a stripe lock.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/hash.hpp"
+
+namespace kp {
+
+template <typename Value>
+class StripedLruCache {
+ public:
+  /// `capacity` bounds total entries (0 disables the cache entirely: find
+  /// always misses, insert is a no-op). The stripe count is clamped to the
+  /// capacity so tiny caches still evict strictly (capacity 1 = one stripe
+  /// of one entry, exact global LRU).
+  explicit StripedLruCache(std::size_t capacity, std::size_t stripes = 16)
+      : capacity_(capacity),
+        per_stripe_cap_(capacity == 0 ? 0
+                                      : (capacity + stripe_count_for(capacity, stripes) - 1) /
+                                            stripe_count_for(capacity, stripes)),
+        stripes_(stripe_count_for(capacity, stripes)) {}
+
+  StripedLruCache(const StripedLruCache&) = delete;
+  StripedLruCache& operator=(const StripedLruCache&) = delete;
+
+  [[nodiscard]] bool enabled() const noexcept { return capacity_ > 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t stripe_count() const noexcept { return stripes_.size(); }
+
+  /// Exact-match lookup; a hit is promoted to most-recently-used in its
+  /// stripe and returned by copy (the cache keeps ownership — callers may
+  /// mutate their copy freely).
+  [[nodiscard]] std::optional<Value> find(const ContentKey& key) {
+    if (!enabled()) return std::nullopt;
+    Stripe& s = stripe_of(key);
+    std::lock_guard<std::mutex> lk(s.mu);
+    const auto [lo, hi] = s.index.equal_range(key.digest);
+    for (auto it = lo; it != hi; ++it) {
+      if (it->second->key == key) {
+        s.lru.splice(s.lru.begin(), s.lru, it->second);  // promote
+        return it->second->value;
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Inserts (or refreshes) key -> value; evicts the stripe's LRU tail when
+  /// the stripe exceeds its slice of the capacity.
+  void insert(const ContentKey& key, Value value) {
+    if (!enabled()) return;
+    Stripe& s = stripe_of(key);
+    std::lock_guard<std::mutex> lk(s.mu);
+    const auto [lo, hi] = s.index.equal_range(key.digest);
+    for (auto it = lo; it != hi; ++it) {
+      if (it->second->key == key) {
+        it->second->value = std::move(value);
+        s.lru.splice(s.lru.begin(), s.lru, it->second);
+        return;
+      }
+    }
+    s.lru.push_front(Entry{key, std::move(value)});
+    s.index.emplace(key.digest, s.lru.begin());
+    size_.fetch_add(1, std::memory_order_relaxed);
+    while (s.lru.size() > per_stripe_cap_) {
+      const auto victim = std::prev(s.lru.end());
+      const auto [vlo, vhi] = s.index.equal_range(victim->key.digest);
+      for (auto it = vlo; it != vhi; ++it) {
+        if (it->second == victim) {
+          s.index.erase(it);
+          break;
+        }
+      }
+      s.lru.pop_back();
+      size_.fetch_sub(1, std::memory_order_relaxed);
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Live entries / LRU evictions so far. Relaxed reads — safe from any
+  /// thread, no lock taken.
+  [[nodiscard]] std::uint64_t size() const noexcept {
+    return size_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t evictions() const noexcept {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    ContentKey key;
+    Value value;
+  };
+  struct Stripe {
+    std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_multimap<std::uint64_t, typename std::list<Entry>::iterator> index;
+  };
+
+  [[nodiscard]] static std::size_t stripe_count_for(std::size_t capacity,
+                                                    std::size_t stripes) noexcept {
+    std::size_t n = stripes == 0 ? 1 : stripes;
+    if (capacity > 0 && n > capacity) n = capacity;
+    if (capacity == 0) n = 1;
+    return n;
+  }
+
+  [[nodiscard]] Stripe& stripe_of(const ContentKey& key) noexcept {
+    return stripes_[static_cast<std::size_t>(key.digest) % stripes_.size()];
+  }
+
+  std::size_t capacity_;
+  std::size_t per_stripe_cap_;
+  std::vector<Stripe> stripes_;
+  std::atomic<std::uint64_t> size_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace kp

@@ -1,9 +1,13 @@
-// Tests for the RNG, stopwatch formatting, hashing and table rendering.
+// Tests for the RNG, stopwatch formatting, hashing, the striped LRU cache,
+// the latency histogram and table rendering.
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
 
 #include "util/hash.hpp"
+#include "util/histogram.hpp"
+#include "util/lru_cache.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
@@ -120,6 +124,103 @@ TEST(Table, RendersAlignedColumns) {
 TEST(Table, ArityMismatchThrows) {
   Table t({"a", "b"});
   EXPECT_THROW(t.row({"only-one"}), ModelError);
+}
+
+ContentKey make_key(std::vector<i64> words) {
+  ContentKey key;
+  key.words = std::move(words);
+  key.finalize();
+  return key;
+}
+
+TEST(ContentKey, EqualityIsExactWordCompare) {
+  const ContentKey a = make_key({1, 2, 3});
+  const ContentKey b = make_key({1, 2, 3});
+  const ContentKey c = make_key({1, 2, 4});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(a.digest, b.digest);
+  // Even with a forged colliding digest, equality must reject different
+  // words — the digest only routes, it never decides identity.
+  ContentKey forged = c;
+  forged.digest = a.digest;
+  EXPECT_FALSE(a == forged);
+}
+
+TEST(StripedLruCache, FindInsertPromoteEvict) {
+  StripedLruCache<std::string> cache(2, /*stripes=*/1);  // exact global LRU
+  const ContentKey a = make_key({1});
+  const ContentKey b = make_key({2});
+  const ContentKey c = make_key({3});
+
+  EXPECT_FALSE(cache.find(a).has_value());
+  cache.insert(a, "A");
+  cache.insert(b, "B");
+  EXPECT_EQ(cache.size(), 2u);
+  // Touch a: b becomes the LRU tail, so inserting c evicts b, not a.
+  ASSERT_TRUE(cache.find(a).has_value());
+  EXPECT_EQ(*cache.find(a), "A");
+  cache.insert(c, "C");
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_TRUE(cache.find(a).has_value());
+  EXPECT_FALSE(cache.find(b).has_value());
+  EXPECT_TRUE(cache.find(c).has_value());
+  // Refreshing an existing key replaces the value without growing.
+  cache.insert(a, "A2");
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(*cache.find(a), "A2");
+}
+
+TEST(StripedLruCache, ZeroCapacityDisables) {
+  StripedLruCache<int> cache(0);
+  EXPECT_FALSE(cache.enabled());
+  const ContentKey k = make_key({7});
+  cache.insert(k, 1);
+  EXPECT_FALSE(cache.find(k).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(StripedLruCache, StripeCountClampedToCapacity) {
+  StripedLruCache<int> tiny(3, /*stripes=*/16);
+  EXPECT_EQ(tiny.stripe_count(), 3u);
+  StripedLruCache<int> wide(4096);
+  EXPECT_EQ(wide.stripe_count(), 16u);
+}
+
+TEST(LatencyHistogram, BucketBoundaries) {
+  // bucket 0: < 1us; bucket i: [2^(i-1), 2^i) us.
+  EXPECT_EQ(LatencyHistogram::bucket_of(0.0), 0);
+  EXPECT_EQ(LatencyHistogram::bucket_of(0.0005), 0);   // 0.5us
+  EXPECT_EQ(LatencyHistogram::bucket_of(0.001), 1);    // 1us
+  EXPECT_EQ(LatencyHistogram::bucket_of(0.0015), 1);   // 1.5us
+  EXPECT_EQ(LatencyHistogram::bucket_of(0.002), 2);    // 2us
+  EXPECT_EQ(LatencyHistogram::bucket_of(1.0), 10);     // 1000us -> [512, 1024)
+  EXPECT_EQ(LatencyHistogram::bucket_of(1.024), 11);   // 1024us
+  EXPECT_EQ(LatencyHistogram::bucket_of(1e12), LatencyHistogram::kBuckets - 1);
+  EXPECT_DOUBLE_EQ(LatencyHistogram::bucket_upper_us(10), 1024.0);
+}
+
+TEST(LatencyHistogram, PercentilesUpperBoundAndMonotone) {
+  LatencyHistogram h;
+  const auto empty = h.snapshot();
+  EXPECT_EQ(empty.total(), 0u);
+  EXPECT_DOUBLE_EQ(empty.percentile_ms(0.5), 0.0);
+
+  // 90 fast (~2us) + 10 slow (~2ms) recordings: p50 lands in the fast
+  // bucket, p99 in the slow one, both reported as bucket upper bounds.
+  for (int i = 0; i < 90; ++i) h.record_ms(0.002);
+  for (int i = 0; i < 10; ++i) h.record_ms(2.0);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.total(), 100u);
+  const double p50 = s.percentile_ms(0.50);
+  const double p99 = s.percentile_ms(0.99);
+  EXPECT_DOUBLE_EQ(p50, LatencyHistogram::bucket_upper_us(2) / 1000.0);
+  EXPECT_DOUBLE_EQ(p99, LatencyHistogram::bucket_upper_us(11) / 1000.0);
+  EXPECT_LE(p50, p99);
+  // The upper-bound bias never under-reports.
+  EXPECT_GE(p50, 0.002);
+  EXPECT_GE(p99, 2.0);
 }
 
 }  // namespace
